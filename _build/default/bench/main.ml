@@ -1,0 +1,199 @@
+(* The benchmark harness.
+
+   Two layers:
+
+   1. The reproduction experiments (lib/experiments): every table and
+      figure of DESIGN.md §4, printed as tables. These regenerate the
+      paper's claims and are what EXPERIMENTS.md records.
+
+   2. Bechamel wall-clock microbenchmarks: one Test.make per experiment id
+      (on a scaled-down instance of that table's workload) plus the hot
+      kernels, so regressions in the implementation itself are visible.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --quick      # cheap experiments + micro
+     dune exec bench/main.exe -- --exp T1.1-rounds [--exp ...]
+     dune exec bench/main.exe -- --micro-only
+     dune exec bench/main.exe -- --no-micro *)
+
+open Kecss_graph
+open Kecss_congest
+open Kecss_core
+module E = Kecss_experiments.Experiments
+module W = Kecss_experiments.Workloads
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let stage = Staged.stage
+
+(* one Test.make per experiment table, on a scaled-down workload *)
+let per_table_tests =
+  [
+    Test.make ~name:"T1.1-rounds/ecss2-n64"
+      (stage (fun () -> Ecss2.solve ~seed:1 (W.weighted_random ~n:64 ~k:2)));
+    Test.make ~name:"T1.1-approx/greedy-n64"
+      (stage (fun () ->
+           Kecss_baselines.Greedy.kecss (W.weighted_random ~n:64 ~k:2) ~k:2));
+    Test.make ~name:"T1.2-rounds/kecss3-n32"
+      (stage (fun () -> Kecss.solve ~seed:1 (W.weighted_random ~n:32 ~k:3) ~k:3));
+    Test.make ~name:"T1.2-approx/exact-n8"
+      (stage (fun () -> Kecss_baselines.Exact.kecss (W.tiny_exact ~seed:1) ~k:2));
+    Test.make ~name:"T1.3-rounds/ecss3-n64"
+      (stage (fun () -> Ecss3.solve ~seed:1 (W.unweighted_low_d ~n:64)));
+    Test.make ~name:"T1.3-approx/thurimella-n64"
+      (stage (fun () ->
+           Kecss_baselines.Thurimella.sparse_certificate (Rng.create ~seed:1)
+             (W.unweighted_low_d ~n:64) ~k:3));
+    Test.make ~name:"L3.11-iters/tap-n128"
+      (stage (fun () -> Ecss2.solve ~seed:1 (W.spread_random ~n:128 ~ratio:128)));
+    Test.make ~name:"L4-iters/aug2-n32"
+      (stage (fun () ->
+           let g = W.weighted_random ~n:32 ~k:2 in
+           let ledger = Rounds.create () in
+           let rng = Rng.create ~seed:1 in
+           let bfs = Prim.bfs_tree ledger g ~root:0 in
+           let bfs_forest = Forest.of_rooted_tree bfs in
+           let mst = Mst.run ledger (Rng.split rng) g in
+           Augk.augment ledger (Rng.split rng) ~bfs_forest g ~h:mst.Mst.mask ~k:2));
+    Test.make ~name:"L3.4-decomp/segments-n256"
+      (stage (fun () ->
+           let g = W.weighted_random ~n:256 ~k:2 in
+           let ledger = Rounds.create () in
+           let rng = Rng.create ~seed:1 in
+           let bfs = Prim.bfs_tree ledger g ~root:0 in
+           let bfs_forest = Forest.of_rooted_tree bfs in
+           let mst = Mst.run ledger rng g in
+           Segments.build ledger ~bfs_forest mst));
+    Test.make ~name:"P5.1-labels/labels-n64"
+      (stage
+         (let g = W.unweighted_low_d ~n:64 in
+          let tree = Rooted_tree.bfs_tree g ~root:0 in
+          let mask = Graph.all_edges_mask g in
+          fun () ->
+            Kecss_cycle_space.Labels.compute (Rng.create ~seed:1) tree
+              ~h_mask:mask));
+    Test.make ~name:"B-baselines/ecss2u-n256"
+      (stage (fun () ->
+           Ecss2_unweighted.solve (Graph.unit_weights (W.weighted_random ~n:256 ~k:2))));
+  ]
+
+(* hot kernels underneath everything *)
+let kernel_tests =
+  let g256 = W.weighted_random ~n:256 ~k:2 in
+  let tree256 = Rooted_tree.bfs_tree g256 ~root:0 in
+  [
+    Test.make ~name:"kernel/mst-n256"
+      (stage (fun () -> Mst.run (Rounds.create ()) (Rng.create ~seed:1) g256));
+    Test.make ~name:"kernel/bfs-n256"
+      (stage (fun () -> Prim.bfs_tree (Rounds.create ()) g256 ~root:0));
+    Test.make ~name:"kernel/lambda-n256"
+      (stage (fun () ->
+           Kecss_connectivity.Edge_connectivity.lambda ~upper:3 g256));
+    Test.make ~name:"kernel/min-cuts-n64"
+      (stage
+         (let g = W.weighted_random ~n:64 ~k:2 in
+          let mst = Kecss_baselines.Greedy.kecss g ~k:1 in
+          fun () ->
+            Kecss_connectivity.Min_cut_enum.min_cuts ~mask:mst
+              ~rng:(Rng.create ~seed:1) g));
+    Test.make ~name:"kernel/lca-queries-n256"
+      (stage (fun () ->
+           let acc = ref 0 in
+           for u = 0 to 255 do
+             acc := !acc + Rooted_tree.lca tree256 u ((u * 37) mod 256)
+           done;
+           !acc));
+    Test.make ~name:"kernel/wave-up-n256"
+      (stage
+         (let f = Forest.of_rooted_tree tree256 in
+          fun () ->
+            Prim.wave_up (Rounds.create ()) f ~value:(fun _ kids ->
+                [| List.fold_left (fun a k -> a + k.(0)) 1 kids |])));
+  ]
+
+let run_micro () =
+  print_newline ();
+  print_endline "################ W-micro — Bechamel wall-clock benchmarks";
+  print_endline "# one Test.make per experiment table + the hot kernels";
+  print_newline ();
+  let tests =
+    Test.make_grouped ~name:"kecss" ~fmt:"%s/%s" (per_table_tests @ kernel_tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.8) ~stabilize:false
+      ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort compare rows in
+  Printf.printf "%-44s %16s %10s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (name, ols_result) ->
+      let time_ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ t ] -> t
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      let pretty =
+        if Float.is_nan time_ns then "n/a"
+        else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+        else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+        else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+        else Printf.sprintf "%.0f ns" time_ns
+      in
+      Printf.printf "%-44s %16s %10.4f\n" name pretty r2)
+    rows;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse exps quick micro_only no_micro = function
+    | [] -> (List.rev exps, quick, micro_only, no_micro)
+    | "--exp" :: id :: rest -> parse (id :: exps) quick micro_only no_micro rest
+    | "--quick" :: rest -> parse exps true micro_only no_micro rest
+    | "--micro-only" :: rest -> parse exps quick true no_micro rest
+    | "--no-micro" :: rest -> parse exps quick micro_only true rest
+    | arg :: _ ->
+      Printf.eprintf
+        "unknown argument %s\n\
+         usage: main.exe [--quick] [--exp ID]... [--micro-only] [--no-micro]\n"
+        arg;
+      exit 2
+  in
+  let exps, quick, micro_only, no_micro = parse [] false false false args in
+  if not micro_only then begin
+    let targets =
+      match exps with
+      | [] -> if quick then List.filter (fun e -> e.E.quick) E.all else E.all
+      | ids ->
+        List.map
+          (fun id ->
+            match E.find id with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "unknown experiment id: %s\n" id;
+              exit 2)
+          ids
+    in
+    List.iter (fun e -> ignore (E.run_and_print e)) targets
+  end;
+  if (not no_micro) || micro_only then run_micro ()

@@ -1,0 +1,271 @@
+(* kecss — command line front end.
+
+   Subcommands:
+     generate    write a workload graph to stdout/file
+     solve       run one of the paper's algorithms on a graph file
+     verify      check that an edge set is a k-ECSS of a graph
+     experiment  run experiments from the reproduction suite
+     info        print structural facts about a graph *)
+
+open Cmdliner
+open Kecss_graph
+open Kecss_connectivity
+open Kecss_core
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let read_graph = function
+  | "-" -> Io.of_channel stdin
+  | path ->
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Io.of_channel ic)
+
+let graph_arg =
+  let doc = "Input graph file (kecss format; - for stdin)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for all algorithm randomness." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let k_arg =
+  let doc = "Target edge connectivity k." in
+  Arg.(value & opt int 2 & info [ "k" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate family n k extra seed wlo whi out =
+  let rng = Rng.create ~seed in
+  let base =
+    match family with
+    | "cycle" -> Gen.cycle n
+    | "path" -> Gen.path n
+    | "complete" -> Gen.complete n
+    | "circulant" -> Gen.circulant n (List.init (max 1 (k / 2)) (fun i -> i + 1))
+    | "harary" -> Gen.harary k n
+    | "torus" ->
+      let side = max 3 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+      Gen.torus side side
+    | "hypercube" ->
+      let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+      Gen.hypercube (max 1 (log2 0 n))
+    | "random" -> Gen.random_k_connected rng n k ~extra
+    | "geometric" -> Gen.random_geometric rng n 0.3
+    | "tree" -> Gen.random_tree rng n
+    | "figure2" -> Gen.paper_figure2 ()
+    | f -> failwith ("unknown family: " ^ f)
+  in
+  let g =
+    if whi <= wlo && wlo = 1 then base
+    else Weights.uniform rng ~lo:wlo ~hi:(max wlo whi) base
+  in
+  let s = Io.to_string g in
+  (match out with
+  | "-" -> print_string s
+  | path ->
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc);
+  `Ok ()
+
+let generate_cmd =
+  let family =
+    let doc =
+      "Graph family: cycle, path, complete, circulant, harary, torus, \
+       hypercube, random, geometric, tree, figure2."
+    in
+    Arg.(value & opt string "random" & info [ "family" ] ~doc)
+  in
+  let n = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Number of vertices.") in
+  let extra =
+    Arg.(value & opt int 64 & info [ "extra" ] ~doc:"Extra chords (random).")
+  in
+  let wlo = Arg.(value & opt int 1 & info [ "wmin" ] ~doc:"Min weight.") in
+  let whi = Arg.(value & opt int 1 & info [ "wmax" ] ~doc:"Max weight.") in
+  let out =
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a workload graph.")
+    Term.(ret (const generate $ family $ n $ k_arg $ extra $ seed_arg $ wlo $ whi $ out))
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let print_solution g mask =
+  (* full kecss format, so the output feeds straight into `verify` *)
+  Printf.printf "c solution subgraph\np kecss %d %d\n" (Graph.n g)
+    (Bitset.cardinal mask);
+  Bitset.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      Printf.printf "e %d %d %d\n" u v (Graph.weight g e))
+    mask
+
+let solve path algo k seed quiet =
+  let g = read_graph path in
+  let pick () =
+    match algo with
+    | "2ecss" -> (2, (Ecss2.solve ~seed g).Ecss2.solution, None)
+    | "kecss" ->
+      let r = Kecss.solve ~seed g ~k in
+      (k, r.Kecss.solution, Some r.Kecss.rounds)
+    | "3ecss-unweighted" ->
+      let ledger = Kecss_congest.Rounds.create () in
+      let r = Ecss3.solve_with ledger (Rng.create ~seed) g in
+      (3, r.Ecss3.solution, Some (Kecss_congest.Rounds.total ledger))
+    | "3ecss-weighted" ->
+      let ledger = Kecss_congest.Rounds.create () in
+      let r = Ecss3.solve_weighted_with ledger (Rng.create ~seed) g in
+      (3, r.Ecss3.solution, Some (Kecss_congest.Rounds.total ledger))
+    | "ftmst" ->
+      let ledger = Kecss_congest.Rounds.create () in
+      let r = Ft_mst.build_with ledger (Rng.create ~seed) g in
+      (1, r.Ft_mst.mask, Some r.Ft_mst.rounds)
+    | "thurimella" ->
+      let r =
+        Kecss_baselines.Thurimella.sparse_certificate (Rng.create ~seed) g ~k
+      in
+      (k, r.Kecss_baselines.Thurimella.solution, Some r.Kecss_baselines.Thurimella.rounds)
+    | "greedy" -> (k, Kecss_baselines.Greedy.kecss g ~k, None)
+    | "exact" -> (
+      match Kecss_baselines.Exact.kecss g ~k with
+      | Some s -> (k, s, None)
+      | None -> failwith "graph is not k-edge-connected")
+    | a -> failwith ("unknown algorithm: " ^ a)
+  in
+  match pick () with
+  | exception Failure msg -> `Error (false, msg)
+  | k, sol, rounds ->
+    let report = Verify.check_kecss g sol ~k in
+    if not quiet then begin
+      Format.eprintf "%a@." Verify.pp_report report;
+      (match rounds with
+      | Some r -> Format.eprintf "simulated rounds: %d@." r
+      | None -> ())
+    end;
+    print_solution g sol;
+    if report.Verify.ok then `Ok () else `Error (false, "solution failed verification")
+
+let solve_cmd =
+  let algo =
+    let doc =
+      "Algorithm: 2ecss (Thm 1.1), kecss (Thm 1.2), 3ecss-unweighted \
+       (Thm 1.3), 3ecss-weighted (the 5.4 remark), ftmst, thurimella, \
+       greedy, exact."
+    in
+    Arg.(value & opt string "2ecss" & info [ "algorithm"; "a" ] ~doc)
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No report on stderr.") in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Compute an approximate minimum k-ECSS.")
+    Term.(ret (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ quiet))
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify path sol_path k =
+  let g = read_graph path in
+  let sol = read_graph sol_path in
+  (* re-identify the solution's edges inside g *)
+  let mask = Graph.no_edges_mask g in
+  let missing = ref 0 in
+  Graph.iter_edges
+    (fun e ->
+      match Graph.find_edge g e.Graph.u e.Graph.v with
+      | Some id -> Bitset.add mask id
+      | None -> incr missing)
+    sol;
+  if !missing > 0 then
+    `Error (false, Printf.sprintf "%d solution edges are not in the graph" !missing)
+  else begin
+    let report = Verify.check_kecss g mask ~k in
+    Format.printf "%a@." Verify.pp_report report;
+    if report.Verify.ok then `Ok () else `Error (false, "not a k-ECSS")
+  end
+
+let verify_cmd =
+  let sol =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SOLUTION" ~doc:"Solution edge list (kecss format).")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify a claimed k-ECSS.")
+    Term.(ret (const verify $ graph_arg $ sol $ k_arg))
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment ids list_only =
+  let module E = Kecss_experiments.Experiments in
+  if list_only then begin
+    List.iter (fun e -> Printf.printf "%-14s %s\n" e.E.id e.E.title) E.all;
+    `Ok ()
+  end
+  else begin
+    let targets =
+      match ids with
+      | [] -> E.all
+      | ids ->
+        List.map
+          (fun id ->
+            match E.find id with
+            | Some e -> e
+            | None -> failwith ("unknown experiment: " ^ id))
+          ids
+    in
+    match List.iter (fun e -> ignore (E.run_and_print e)) targets with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  end
+
+let experiment_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run reproduction experiments.")
+    Term.(ret (const experiment $ ids $ list_only))
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_run path =
+  let g = read_graph path in
+  Printf.printf "n = %d\nm = %d\ntotal weight = %d\n" (Graph.n g) (Graph.m g)
+    (Graph.total_weight g);
+  if Graph.is_connected g then begin
+    Printf.printf "diameter = %d\n" (Graph.diameter g);
+    Printf.printf "edge connectivity = %d\n" (Edge_connectivity.lambda g)
+  end
+  else Printf.printf "disconnected (%d components)\n" (Graph.num_components g);
+  `Ok ()
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print structural facts about a graph.")
+    Term.(ret (const info_run $ graph_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "distributed approximation of minimum k-edge-connected spanning subgraphs" in
+  let main =
+    Cmd.group
+      (Cmd.info "kecss" ~version:"1.0.0" ~doc)
+      [ generate_cmd; solve_cmd; verify_cmd; experiment_cmd; info_cmd ]
+  in
+  exit (Cmd.eval main)

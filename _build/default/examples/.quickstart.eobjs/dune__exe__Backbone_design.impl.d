@@ -1,0 +1,1 @@
+examples/backbone_design.ml: Bitset Ecss2 Edge_connectivity Format Gen Graph Io Kecss_connectivity Kecss_core Kecss_graph Rng Verify Weights

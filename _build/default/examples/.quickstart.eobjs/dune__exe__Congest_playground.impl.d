@@ -1,0 +1,1 @@
+examples/congest_playground.ml: Array Forest Format Gen Graph Kecss_congest Kecss_graph List Network Prim Rng Rounds

@@ -1,0 +1,1 @@
+examples/congest_playground.mli:

@@ -1,0 +1,1 @@
+examples/covering_and_verification.ml: Bitset Cover Format Ft_mst Gen Graph Kecss_congest Kecss_core Kecss_cycle_space Kecss_graph Mds Rng Rooted_tree Rounds Weights

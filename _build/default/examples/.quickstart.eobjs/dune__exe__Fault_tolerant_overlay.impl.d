@@ -1,0 +1,1 @@
+examples/fault_tolerant_overlay.ml: Array Bitset Ecss3 Format Gen Graph Kecss_baselines Kecss_congest Kecss_connectivity Kecss_core Kecss_graph Rng Verify

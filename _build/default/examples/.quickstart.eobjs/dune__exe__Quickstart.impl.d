@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bitset Ecss2 Format Graph Kecss_baselines Kecss_connectivity Kecss_core Kecss_graph Tap Verify

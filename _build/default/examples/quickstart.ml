@@ -1,0 +1,49 @@
+(* Quickstart: build a small weighted network, compute an approximately
+   minimum 2-edge-connected spanning subgraph, and verify it.
+
+     dune exec examples/quickstart.exe *)
+
+open Kecss_graph
+open Kecss_connectivity
+open Kecss_core
+
+let () =
+  (* a 10-site network: a ring of offices plus a few cross links *)
+  let g =
+    Graph.make ~n:10
+      [
+        (0, 1, 4); (1, 2, 3); (2, 3, 7); (3, 4, 2); (4, 5, 5);
+        (5, 6, 3); (6, 7, 6); (7, 8, 2); (8, 9, 4); (9, 0, 5);
+        (0, 5, 9); (2, 7, 8); (1, 6, 12); (3, 8, 10);
+      ]
+  in
+  Format.printf "input network:@.%a@." Graph.pp g;
+
+  (* one call: MST + segment decomposition + weighted TAP (Theorem 1.1) *)
+  let r = Ecss2.solve ~seed:42 g in
+
+  Format.printf "@.2-ECSS solution (%d edges, weight %d = MST %d + aug %d):@."
+    (Bitset.cardinal r.Ecss2.solution)
+    (Graph.mask_weight g r.Ecss2.solution)
+    r.Ecss2.mst_weight r.Ecss2.augmentation_weight;
+  Bitset.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      Format.printf "  %d -- %d (w=%d)@." u v (Graph.weight g e))
+    r.Ecss2.solution;
+
+  (* verification: spanning + 2-edge-connected *)
+  let report = Verify.check_kecss g r.Ecss2.solution ~k:2 in
+  Format.printf "@.verification: %a@." Verify.pp_report report;
+
+  (* how close to optimal? this instance is small enough to solve exactly *)
+  (match Kecss_baselines.Exact.kecss g ~k:2 with
+  | Some opt ->
+    Format.printf "exact optimum weighs %d (ratio %.2f)@."
+      (Graph.mask_weight g opt)
+      (float_of_int (Graph.mask_weight g r.Ecss2.solution)
+      /. float_of_int (Graph.mask_weight g opt))
+  | None -> assert false);
+
+  Format.printf "@.simulated CONGEST rounds: %d (TAP iterations: %d)@."
+    r.Ecss2.rounds r.Ecss2.tap.Tap.iterations

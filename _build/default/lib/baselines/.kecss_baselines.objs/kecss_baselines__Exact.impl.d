@@ -1,0 +1,1 @@
+lib/baselines/exact.ml: Array Bitset Dfs Edge_connectivity Graph Kecss_connectivity Kecss_graph List Rooted_tree

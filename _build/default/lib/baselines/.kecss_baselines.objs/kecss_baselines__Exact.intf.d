@@ -1,0 +1,1 @@
+lib/baselines/exact.mli: Bitset Graph Kecss_graph Rooted_tree

@@ -1,0 +1,1 @@
+lib/baselines/greedy.ml: Array Bitset Edge_connectivity Graph Kecss_connectivity Kecss_graph List Min_cut_enum Rng Rooted_tree Union_find

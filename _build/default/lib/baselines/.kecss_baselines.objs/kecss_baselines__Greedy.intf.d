@@ -1,0 +1,1 @@
+lib/baselines/greedy.mli: Bitset Graph Kecss_graph Rooted_tree

@@ -1,0 +1,1 @@
+lib/baselines/lower_bound.ml: Array Graph Kecss_graph List

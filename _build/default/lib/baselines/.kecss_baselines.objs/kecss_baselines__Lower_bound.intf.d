@@ -1,0 +1,1 @@
+lib/baselines/lower_bound.mli: Graph Kecss_graph

@@ -1,0 +1,1 @@
+lib/baselines/thurimella.ml: Bitset Graph Kecss_congest Kecss_graph List Mst Rng Rounds Union_find

@@ -1,0 +1,1 @@
+lib/baselines/thurimella.mli: Bitset Graph Kecss_congest Kecss_graph Rng Rounds

@@ -1,0 +1,23 @@
+(** Sequential greedy set-cover baselines (§2.1's "inherently sequential"
+    algorithm): one maximum-cost-effectiveness edge per step. These give
+    the classical O(log n) sequential approximation the distributed
+    algorithms are compared against in the B-baselines experiment, and a
+    quality yardstick (the distributed solutions should be within a small
+    factor of greedy). *)
+
+open Kecss_graph
+
+val tap : Graph.t -> Rooted_tree.t -> Bitset.t
+(** Greedy weighted TAP: repeatedly add the non-tree edge maximizing
+    |uncovered path edges| / w(e) (zero-weight edges first) until every
+    tree edge is covered. Returns the augmentation A. *)
+
+val augmentation : Graph.t -> h:Bitset.t -> k:int -> Bitset.t
+(** Greedy Aug_k over the enumerated size-(k−1) cuts of H (exhaustive
+    enumeration — small instances only, n ≤ 24): repeatedly add the edge
+    maximizing uncovered-cuts/weight. Exact-coverage greedy, so its ratio
+    is the classical H_n bound. *)
+
+val kecss : Graph.t -> k:int -> Bitset.t
+(** Greedy k-ECSS: MST, then {!augmentation} level by level. Small
+    instances only. *)

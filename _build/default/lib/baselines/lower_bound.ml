@@ -1,0 +1,32 @@
+open Kecss_graph
+
+let degree g ~k =
+  let total = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let ws =
+      Array.to_list (Graph.adj g v)
+      |> List.map (fun (_, id) -> Graph.weight g id)
+      |> List.sort compare
+    in
+    if List.length ws < k then
+      invalid_arg "Lower_bound.degree: a vertex has degree < k";
+    let rec take i = function
+      | w :: rest when i < k ->
+        total := !total + w;
+        take (i + 1) rest
+      | _ -> ()
+    in
+    take 0 ws
+  done;
+  (!total + 1) / 2
+
+let unweighted_edges ~n ~k = ((k * n) + 1) / 2
+
+let best g ~k =
+  let min_w =
+    Graph.fold_edges (fun e acc -> min acc e.Graph.w) g max_int
+  in
+  let count_bound =
+    if min_w = max_int then 0 else unweighted_edges ~n:(Graph.n g) ~k * min_w
+  in
+  max (degree g ~k) count_bound

@@ -1,0 +1,20 @@
+(** Valid lower bounds on the weight of any k-ECSS, used to bound
+    approximation ratios from above on instances too large for the exact
+    solver. *)
+
+open Kecss_graph
+
+val degree : Graph.t -> k:int -> int
+(** Every vertex of a k-edge-connected subgraph has degree ≥ k, so
+    ½·Σ_v (sum of the k cheapest weights incident to v), rounded up, is a
+    lower bound on OPT. Raises [Invalid_argument] if some vertex has degree
+    < k in [g] (then no k-ECSS exists). *)
+
+val unweighted_edges : n:int -> k:int -> int
+(** ⌈kn/2⌉ — the minimum number of edges of any k-ECSS (the bound behind
+    Thurimella's 2-approximation). *)
+
+val best : Graph.t -> k:int -> int
+(** The better (larger) of {!degree} and, on unit weights, the count
+    bound — they coincide for unit weights, so this is just {!degree}
+    with a max against [⌈kn/2⌉·w_min] for safety. *)

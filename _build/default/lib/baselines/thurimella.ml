@@ -1,0 +1,40 @@
+open Kecss_graph
+open Kecss_congest
+
+type result = {
+  solution : Bitset.t;
+  forests : Bitset.t list;
+  rounds : int;
+}
+
+(* maximal spanning forest of the graph restricted to [avail] *)
+let spanning_forest g avail =
+  let uf = Union_find.create (Graph.n g) in
+  let forest = Graph.no_edges_mask g in
+  Graph.iter_edges
+    (fun e ->
+      if Bitset.mem avail e.Graph.id && Union_find.union uf e.Graph.u e.Graph.v
+      then Bitset.add forest e.Graph.id)
+    g;
+  forest
+
+let sparse_certificate ?ledger rng g ~k =
+  let ledger = match ledger with Some l -> l | None -> Rounds.create () in
+  Rounds.scoped ledger "thurimella" @@ fun () ->
+  if k < 1 then invalid_arg "Thurimella.sparse_certificate: k must be >= 1";
+  (* measured cost of one distributed forest computation (an unweighted
+     MST), charged once per phase *)
+  let probe = Rounds.create () in
+  ignore (Mst.run probe (Rng.split rng) (Graph.unit_weights g));
+  let per_phase = Rounds.total probe in
+  let avail = Graph.all_edges_mask g in
+  let solution = Graph.no_edges_mask g in
+  let forests = ref [] in
+  for _ = 1 to k do
+    let f = spanning_forest g avail in
+    forests := f :: !forests;
+    Bitset.union_into solution f;
+    Bitset.diff_into avail f;
+    Rounds.charge ledger ~category:"forest" per_phase
+  done;
+  { solution; forests = List.rev !forests; rounds = Rounds.total ledger }

@@ -1,0 +1,1 @@
+lib/congest/forest.ml: Array Graph Kecss_graph List Queue Rooted_tree

@@ -1,0 +1,1 @@
+lib/congest/forest.mli: Graph Kecss_graph Rooted_tree

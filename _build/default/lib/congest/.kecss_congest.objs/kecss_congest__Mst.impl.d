@@ -1,0 +1,1 @@
+lib/congest/mst.ml: Array Bitset Forest Fun Graph Hashtbl Kecss_graph List Network Option Prim Rng Rooted_tree Rounds Union_find

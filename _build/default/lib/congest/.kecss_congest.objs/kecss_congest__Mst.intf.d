@@ -1,0 +1,1 @@
+lib/congest/mst.mli: Bitset Graph Kecss_graph Rng Rooted_tree Rounds

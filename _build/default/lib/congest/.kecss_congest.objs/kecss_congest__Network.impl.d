@@ -1,0 +1,1 @@
+lib/congest/network.ml: Array Fun Graph Hashtbl Kecss_graph List

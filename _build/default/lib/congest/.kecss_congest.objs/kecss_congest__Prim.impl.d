@@ -1,0 +1,1 @@
+lib/congest/prim.ml: Array Forest Graph Hashtbl Kecss_graph List Network Printf Queue Rooted_tree Rounds

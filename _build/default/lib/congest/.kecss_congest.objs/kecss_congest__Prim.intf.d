@@ -1,0 +1,1 @@
+lib/congest/prim.mli: Forest Graph Kecss_graph Network Rooted_tree Rounds

@@ -1,0 +1,1 @@
+lib/congest/rounds.ml: Format Fun Hashtbl List Option

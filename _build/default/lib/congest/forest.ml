@@ -1,0 +1,74 @@
+open Kecss_graph
+
+type t = {
+  graph : Graph.t;
+  parent : int array;
+  parent_edge : int array;
+  depth : int array;
+  height : int array;
+  children : int list array;
+  roots : int list;
+  root_of : int array;
+}
+
+let make graph ~parent_edge =
+  let n = Graph.n graph in
+  if Array.length parent_edge <> n then invalid_arg "Forest.make: bad length";
+  let parent = Array.make n (-1) in
+  let children = Array.make n [] in
+  for v = n - 1 downto 0 do
+    let pe = parent_edge.(v) in
+    if pe >= 0 then begin
+      let p = Graph.other_end graph pe v in
+      parent.(v) <- p;
+      children.(p) <- v :: children.(p)
+    end
+  done;
+  let depth = Array.make n (-1) in
+  let root_of = Array.make n (-1) in
+  let roots = ref [] in
+  let order = ref [] in
+  for v = n - 1 downto 0 do
+    if parent.(v) < 0 then begin
+      roots := v :: !roots;
+      depth.(v) <- 0;
+      root_of.(v) <- v;
+      let q = Queue.create () in
+      Queue.add v q;
+      while not (Queue.is_empty q) do
+        let x = Queue.pop q in
+        order := x :: !order;
+        List.iter
+          (fun c ->
+            depth.(c) <- depth.(x) + 1;
+            root_of.(c) <- v;
+            Queue.add c q)
+          children.(x)
+      done
+    end
+  done;
+  if Array.exists (fun d -> d < 0) depth then
+    invalid_arg "Forest.make: parent pointers contain a cycle";
+  let height = Array.make n 0 in
+  List.iter
+    (fun v ->
+      if parent.(v) >= 0 then
+        height.(parent.(v)) <- max height.(parent.(v)) (height.(v) + 1))
+    !order (* reverse BFS order: children before parents *);
+  { graph; parent; parent_edge; depth; height; children; roots = !roots; root_of }
+
+let of_rooted_tree t =
+  let g = Rooted_tree.graph t in
+  let pe = Array.init (Graph.n g) (Rooted_tree.parent_edge t) in
+  make g ~parent_edge:pe
+
+let singleton graph = make graph ~parent_edge:(Array.make (Graph.n graph) (-1))
+
+let max_depth t = Array.fold_left max 0 t.depth
+
+let tree_members t r =
+  let acc = ref [] in
+  for v = Graph.n t.graph - 1 downto 0 do
+    if t.root_of.(v) = r then acc := v :: !acc
+  done;
+  !acc

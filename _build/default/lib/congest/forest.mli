@@ -1,0 +1,39 @@
+(** Parent-pointer forests over a graph's edges — the shape on which all
+    tree-structured communication (waves, pipelines) runs.
+
+    A forest is given by [parent_edge.(v)] (graph edge id towards the
+    parent, [-1] at roots).  Fragments of a partially built MST, the final
+    MST, BFS trees and TAP segments are all forests in this sense; because
+    distinct trees of a forest are edge-disjoint, one engine execution runs
+    a wave on {e all} trees of the forest simultaneously and the round
+    count is the maximum over the trees — exactly the "process all
+    fragments/segments in parallel" steps of the paper. *)
+
+open Kecss_graph
+
+type t = private {
+  graph : Graph.t;
+  parent : int array;       (** parent vertex, -1 at roots *)
+  parent_edge : int array;  (** edge id to parent, -1 at roots *)
+  depth : int array;        (** depth within own tree, roots at 0 *)
+  height : int array;       (** height of the subtree below each vertex *)
+  children : int list array;
+  roots : int list;         (** in increasing order *)
+  root_of : int array;      (** the root of each vertex's tree *)
+}
+
+val make : Graph.t -> parent_edge:int array -> t
+(** Validates acyclicity and endpoint consistency.
+    Raises [Invalid_argument] otherwise. *)
+
+val of_rooted_tree : Rooted_tree.t -> t
+(** The single-tree forest of a spanning tree. *)
+
+val singleton : Graph.t -> t
+(** The forest of n isolated roots. *)
+
+val max_depth : t -> int
+(** Maximum vertex depth over all trees — the wave cost. *)
+
+val tree_members : t -> int -> int list
+(** [tree_members f r] lists the vertices whose root is [r]. *)

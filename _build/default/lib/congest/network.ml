@@ -1,0 +1,70 @@
+open Kecss_graph
+
+exception Message_too_large of { vertex : int; words : int }
+exception Duplicate_send of { vertex : int; edge : int }
+exception Did_not_quiesce of { rounds : int }
+
+let cap_words = 6
+
+type send = { edge : int; payload : int array }
+type 'a inbox = (int * 'a) list
+
+type 's program = {
+  init : int -> 's;
+  step :
+    round:int -> int -> 's -> int array inbox -> send list * [ `Active | `Idle ];
+}
+
+let run_counted ?max_rounds g p =
+  let n = Graph.n g in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> (16 * n) + 10_000
+  in
+  let states = Array.init n p.init in
+  let inboxes : int array inbox array = Array.make n [] in
+  let active = Array.make n true in
+  let in_flight = ref 0 in
+  let round = ref 0 in
+  let counted = ref 0 in
+  let messages = ref 0 in
+  let any_active () = Array.exists Fun.id active in
+  while (!in_flight > 0 || any_active ()) && !round < max_rounds do
+    (* snapshot and clear inboxes, then step every vertex *)
+    let delivered = inboxes in
+    let next = Array.make n [] in
+    let sent_this_round = Array.make n [] in
+    for v = 0 to n - 1 do
+      let sends, status = p.step ~round:!round v states.(v) delivered.(v) in
+      active.(v) <- status = `Active;
+      sent_this_round.(v) <- sends
+    done;
+    in_flight := 0;
+    for v = 0 to n - 1 do
+      let used = Hashtbl.create 4 in
+      List.iter
+        (fun { edge; payload } ->
+          let words = Array.length payload in
+          if words > cap_words then raise (Message_too_large { vertex = v; words });
+          if Hashtbl.mem used edge then raise (Duplicate_send { vertex = v; edge });
+          Hashtbl.replace used edge ();
+          let dst = Graph.other_end g edge v in
+          next.(dst) <- (edge, payload) :: next.(dst);
+          incr messages;
+          incr in_flight)
+        sent_this_round.(v)
+    done;
+    Array.blit next 0 inboxes 0 n;
+    incr round;
+    (* In the synchronous model a vertex receives, at the end of round r,
+       the messages sent in round r; the engine splits this into a send
+       pass and a delivery pass.  A pass that only delivers (no sends, no
+       vertex still waiting) is the tail of the previous round, not a round
+       of its own, so it is not counted. *)
+    if !in_flight > 0 || any_active () then incr counted
+  done;
+  if !in_flight > 0 || any_active () then raise (Did_not_quiesce { rounds = !round });
+  (states, !counted, !messages)
+
+let run ?max_rounds g p =
+  let states, rounds, _ = run_counted ?max_rounds g p in
+  (states, rounds)

@@ -1,0 +1,53 @@
+(** The synchronous CONGEST execution engine.
+
+    A {e program} gives each vertex local state and a step function.  In
+    every round the engine delivers the messages sent in the previous round,
+    calls each vertex's step exactly once, and collects its sends.  A vertex
+    may send one message per incident edge per round, of at most
+    {!val-cap_words} machine words — the model's O(log n)-bit budget (an
+    identifier, a weight and a couple of flags all fit in O(log n) bits for
+    polynomial weights, so a handful of words is one CONGEST message).
+
+    Execution stops at {e quiescence}: no messages in flight and every
+    vertex's step returned [`Idle].  The returned round count matches the
+    standard synchronous accounting (a vertex receives at the end of round
+    [r] the messages sent during round [r]): an engine pass counts as a
+    round iff something was sent in it or some vertex is still waiting. *)
+
+open Kecss_graph
+
+exception Message_too_large of { vertex : int; words : int }
+exception Duplicate_send of { vertex : int; edge : int }
+exception Did_not_quiesce of { rounds : int }
+
+val cap_words : int
+(** Maximum message size in words (an int payload cell = one word). *)
+
+type send = { edge : int; payload : int array }
+(** A message to put on edge [edge] this round. *)
+
+type 'a inbox = (int * 'a) list
+(** Received messages as [(edge_id, payload)] pairs, in arbitrary order. *)
+
+type 's program = {
+  init : int -> 's;
+  (** [init v] builds vertex [v]'s initial state. It may inspect the graph
+      locally (own adjacency) — vertices know their incident edges. *)
+  step :
+    round:int -> int -> 's -> int array inbox -> send list * [ `Active | `Idle ];
+  (** [step ~round v state inbox] is called every round (round numbering
+      starts at 0, when inboxes are empty). It returns messages to send and
+      whether the vertex still wants rounds. State is updated by mutation. *)
+}
+
+val run : ?max_rounds:int -> Graph.t -> 's program -> 's array * int
+(** [run g p] is [run_counted g p] without the message count. *)
+
+val run_counted :
+  ?max_rounds:int -> Graph.t -> 's program -> 's array * int * int
+(** [run_counted g p] executes [p] to quiescence and returns the final
+    states, the number of rounds used, and the total number of messages
+    sent.
+    @raise Message_too_large on an oversized payload
+    @raise Duplicate_send if a vertex sends twice on one edge in a round
+    @raise Did_not_quiesce after [max_rounds] (default [16 * n + 10_000]). *)

@@ -1,0 +1,386 @@
+open Kecss_graph
+
+(* ---------- BFS tree ---------- *)
+
+type bfs_state = { mutable parent_edge : int; mutable joined : bool }
+
+let bfs_tree ledger g ~root =
+  let program : bfs_state Network.program =
+    {
+      init = (fun v -> { parent_edge = -1; joined = v = root });
+      step =
+        (fun ~round v st inbox ->
+          if v = root && round = 0 then
+            (* flood the join token on every incident edge *)
+            ( Array.to_list (Graph.adj g v)
+              |> List.map (fun (_, id) -> { Network.edge = id; payload = [| 0 |] }),
+              `Idle )
+          else if (not st.joined) && inbox <> [] then begin
+            let best =
+              List.fold_left (fun acc (id, _) -> min acc id) max_int inbox
+            in
+            st.parent_edge <- best;
+            st.joined <- true;
+            let sends =
+              Array.to_list (Graph.adj g v)
+              |> List.filter_map (fun (_, id) ->
+                     if id = best then None
+                     else Some { Network.edge = id; payload = [| 0 |] })
+            in
+            (sends, `Idle)
+          end
+          else ([], if st.joined then `Idle else `Active));
+    }
+  in
+  let states, rounds, messages = Network.run_counted g program in
+  Rounds.charge ledger ~category:"bfs" rounds;
+  Rounds.charge_messages ledger ~category:"bfs" messages;
+  let pe = Array.map (fun st -> st.parent_edge) states in
+  Rooted_tree.of_parent_edges g ~root pe
+
+(* ---------- single-round exchange ---------- *)
+
+type exch_state = { mutable got : int array Network.inbox }
+
+let exchange ledger g sends =
+  let program : exch_state Network.program =
+    {
+      init = (fun _ -> { got = [] });
+      step =
+        (fun ~round v st inbox ->
+          if round = 0 then (sends v, `Idle)
+          else begin
+            st.got <- inbox @ st.got;
+            ([], `Idle)
+          end);
+    }
+  in
+  let states, rounds, messages = Network.run_counted g program in
+  Rounds.charge ledger ~category:"exchange" rounds;
+  Rounds.charge_messages ledger ~category:"exchange" messages;
+  Array.map (fun st -> st.got) states
+
+(* ---------- convergecast wave ---------- *)
+
+type up_state = {
+  mutable pending : int;              (* children not yet heard from *)
+  mutable child_values : int array list;
+  mutable fired : bool;
+  mutable value : int array;
+}
+
+let wave_up ledger (f : Forest.t) ~value =
+  let program : up_state Network.program =
+    {
+      init =
+        (fun v ->
+          {
+            pending = List.length f.Forest.children.(v);
+            child_values = [];
+            fired = false;
+            value = [||];
+          });
+      step =
+        (fun ~round:_ v st inbox ->
+          List.iter
+            (fun (_, payload) ->
+              st.child_values <- payload :: st.child_values;
+              st.pending <- st.pending - 1)
+            inbox;
+          if (not st.fired) && st.pending = 0 then begin
+            st.fired <- true;
+            st.value <- value v st.child_values;
+            if f.Forest.parent_edge.(v) >= 0 then
+              ( [ { Network.edge = f.Forest.parent_edge.(v); payload = st.value } ],
+                `Idle )
+            else ([], `Idle)
+          end
+          else ([], if st.fired then `Idle else `Active));
+    }
+  in
+  let states, rounds, messages = Network.run_counted f.Forest.graph program in
+  Rounds.charge ledger ~category:"wave_up" rounds;
+  Rounds.charge_messages ledger ~category:"wave_up" messages;
+  Array.map (fun st -> st.value) states
+
+(* ---------- broadcast wave ---------- *)
+
+type down_state = { mutable value : int array; mutable have : bool }
+
+let wave_down ledger (f : Forest.t) ~root_value ~derive =
+  let send_children v payload =
+    List.map
+      (fun c -> { Network.edge = f.Forest.parent_edge.(c); payload })
+      f.Forest.children.(v)
+  in
+  let program : down_state Network.program =
+    {
+      init = (fun _ -> { value = [||]; have = false });
+      step =
+        (fun ~round v st inbox ->
+          if round = 0 && f.Forest.parent.(v) < 0 then begin
+            st.value <- root_value v;
+            st.have <- true;
+            (send_children v st.value, `Idle)
+          end
+          else
+            match inbox with
+            | [ (_, parent_value) ] when not st.have ->
+              st.value <- derive v ~parent_value;
+              st.have <- true;
+              (send_children v st.value, `Idle)
+            | _ -> ([], if st.have then `Idle else `Active));
+    }
+  in
+  let states, rounds, messages = Network.run_counted f.Forest.graph program in
+  Rounds.charge ledger ~category:"wave_down" rounds;
+  Rounds.charge_messages ledger ~category:"wave_down" messages;
+  Array.map (fun st -> st.value) states
+
+(* ---------- pipelined root-path dissemination ---------- *)
+
+type pipe_state = {
+  queue : (int * int array) Queue.t; (* (origin, payload) to forward *)
+  mutable received : (int * int array) list; (* reverse order *)
+}
+
+let down_pipeline ledger (f : Forest.t) ~emit =
+  let program : pipe_state Network.program =
+    {
+      init =
+        (fun v ->
+          let q = Queue.create () in
+          List.iter (fun payload -> Queue.add (v, payload) q) (emit v);
+          { queue = q; received = [] });
+      step =
+        (fun ~round:_ v st inbox ->
+          List.iter
+            (fun (_, msg) ->
+              let origin = msg.(0) in
+              let payload = Array.sub msg 1 (Array.length msg - 1) in
+              st.received <- (origin, payload) :: st.received;
+              st.queue |> Queue.add (origin, payload))
+            inbox;
+          if Queue.is_empty st.queue then ([], `Idle)
+          else begin
+            let origin, payload = Queue.pop st.queue in
+            let msg = Array.append [| origin |] payload in
+            let sends =
+              List.map
+                (fun c -> { Network.edge = f.Forest.parent_edge.(c); payload = msg })
+                f.Forest.children.(v)
+            in
+            (sends, (if Queue.is_empty st.queue then `Idle else `Active))
+          end);
+    }
+  in
+  let states, rounds, messages = Network.run_counted f.Forest.graph program in
+  Rounds.charge ledger ~category:"down_pipeline" rounds;
+  Rounds.charge_messages ledger ~category:"down_pipeline" messages;
+  Array.map (fun st -> List.rev st.received) states
+
+let broadcast_list ledger (f : Forest.t) ~items =
+  let emit v = if f.Forest.parent.(v) < 0 then items v else [] in
+  let received = down_pipeline ledger f ~emit in
+  (* a root hears its own list too, so every tree member agrees *)
+  Array.mapi
+    (fun v got ->
+      if f.Forest.parent.(v) < 0 then List.map (fun p -> (v, p)) (items v)
+      else got)
+    received
+
+(* ---------- per-edge bidirectional streaming ---------- *)
+
+let edge_stream ledger g ~lengths =
+  let program : unit Network.program =
+    {
+      init = (fun _ -> ());
+      step =
+        (fun ~round v () _ ->
+          let sends =
+            Array.to_list (Graph.adj g v)
+            |> List.filter_map (fun (_, id) ->
+                   if round < lengths id then
+                     Some { Network.edge = id; payload = [| round |] }
+                   else None)
+          in
+          let more =
+            Array.exists (fun (_, id) -> round + 1 < lengths id) (Graph.adj g v)
+          in
+          (sends, if more then `Active else `Idle));
+    }
+  in
+  let _, rounds, messages = Network.run_counted g program in
+  Rounds.charge ledger ~category:"edge_stream" rounds;
+  Rounds.charge_messages ledger ~category:"edge_stream" messages
+
+(* ---------- token walks towards the root ---------- *)
+
+type walk_state = { mutable tokens : int }
+
+let walk_up ledger (f : Forest.t) ~sources =
+  let initial = Array.make (Graph.n f.Forest.graph) 0 in
+  List.iter (fun v -> initial.(v) <- initial.(v) + 1) sources;
+  let program : walk_state Network.program =
+    {
+      init = (fun v -> { tokens = initial.(v) });
+      step =
+        (fun ~round:_ v st inbox ->
+          st.tokens <- st.tokens + List.length inbox;
+          if st.tokens = 0 then ([], `Idle)
+          else if f.Forest.parent_edge.(v) < 0 then begin
+            st.tokens <- 0;
+            ([], `Idle)
+          end
+          else begin
+            st.tokens <- st.tokens - 1;
+            ( [ { Network.edge = f.Forest.parent_edge.(v); payload = [| 0 |] } ],
+              if st.tokens = 0 then `Idle else `Active )
+          end);
+    }
+  in
+  let _, rounds, messages = Network.run_counted f.Forest.graph program in
+  Rounds.charge ledger ~category:"walk_up" rounds;
+  Rounds.charge_messages ledger ~category:"walk_up" messages
+
+(* ---------- pipelined sorted keyed aggregation ---------- *)
+
+type stream = { entries : (int * int array) Queue.t; mutable closed : bool }
+
+type merge_state = {
+  mutable own : (int * int array) list;
+  streams : (int, stream) Hashtbl.t; (* by child edge id *)
+  child_edges : int list;
+  mutable sent_done : bool;
+  mutable results : (int * int array) list; (* root only, reverse *)
+}
+
+let up_pipeline_merge ledger (f : Forest.t) ~emit ~combine =
+  let check_sorted v entries =
+    let rec go = function
+      | (k1, _) :: ((k2, _) :: _ as rest) ->
+        if k1 >= k2 then
+          invalid_arg
+            (Printf.sprintf
+               "Prim.up_pipeline_merge: emissions of vertex %d not strictly \
+                sorted" v)
+        else go rest
+      | _ -> ()
+    in
+    go entries;
+    entries
+  in
+  let stream_of st edge =
+    match Hashtbl.find_opt st.streams edge with
+    | Some s -> s
+    | None ->
+      let s = { entries = Queue.create (); closed = false } in
+      Hashtbl.replace st.streams edge s;
+      s
+  in
+  (* min key ready for merging: every child stream must have a head or be
+     closed, otherwise a smaller key may still arrive *)
+  let ready st =
+    List.for_all
+      (fun e ->
+        let s = stream_of st e in
+        s.closed || not (Queue.is_empty s.entries))
+      st.child_edges
+  in
+  let heads st =
+    let own = match st.own with [] -> None | (k, _) :: _ -> Some k in
+    List.fold_left
+      (fun acc e ->
+        let s = stream_of st e in
+        match Queue.peek_opt s.entries with
+        | None -> acc
+        | Some (k, _) -> (
+          match acc with Some k' when k' <= k -> acc | _ -> Some k))
+      own st.child_edges
+  in
+  let pop_key st key =
+    (* fuse every source whose head has this key *)
+    let acc = ref None in
+    let fuse payload =
+      acc := Some (match !acc with None -> payload | Some p -> combine p payload)
+    in
+    (match st.own with
+    | (k, p) :: rest when k = key ->
+      fuse p;
+      st.own <- rest
+    | _ -> ());
+    List.iter
+      (fun e ->
+        let s = stream_of st e in
+        match Queue.peek_opt s.entries with
+        | Some (k, p) when k = key ->
+          ignore (Queue.pop s.entries);
+          fuse p
+        | _ -> ())
+      st.child_edges;
+    match !acc with Some p -> p | None -> assert false
+  in
+  let all_drained st =
+    st.own = []
+    && List.for_all
+         (fun e ->
+           let s = stream_of st e in
+           s.closed && Queue.is_empty s.entries)
+         st.child_edges
+  in
+  let program : merge_state Network.program =
+    {
+      init =
+        (fun v ->
+          {
+            own = check_sorted v (emit v);
+            streams = Hashtbl.create 4;
+            child_edges =
+              List.map (fun c -> f.Forest.parent_edge.(c)) f.Forest.children.(v);
+            sent_done = false;
+            results = [];
+          });
+      step =
+        (fun ~round:_ v st inbox ->
+          List.iter
+            (fun (edge, msg) ->
+              let s = stream_of st edge in
+              if msg.(0) = 1 then s.closed <- true
+              else
+                Queue.add (msg.(1), Array.sub msg 2 (Array.length msg - 2)) s.entries)
+            inbox;
+          let is_root = f.Forest.parent.(v) < 0 in
+          if is_root then begin
+            (* local computation: drain everything currently safe *)
+            let continue = ref true in
+            while !continue do
+              if ready st then
+                match heads st with
+                | Some k -> st.results <- (k, pop_key st k) :: st.results
+                | None -> continue := false
+              else continue := false
+            done;
+            ([], if all_drained st then `Idle else `Active)
+          end
+          else if st.sent_done then ([], `Idle)
+          else if ready st then
+            match heads st with
+            | Some k ->
+              let payload = pop_key st k in
+              let msg = Array.concat [ [| 0; k |]; payload ] in
+              ( [ { Network.edge = f.Forest.parent_edge.(v); payload = msg } ],
+                `Active )
+            | None ->
+              if all_drained st then begin
+                st.sent_done <- true;
+                ( [ { Network.edge = f.Forest.parent_edge.(v); payload = [| 1 |] } ],
+                  `Idle )
+              end
+              else ([], `Active)
+          else ([], `Active));
+    }
+  in
+  let states, rounds, messages = Network.run_counted f.Forest.graph program in
+  Rounds.charge ledger ~category:"up_pipeline" rounds;
+  Rounds.charge_messages ledger ~category:"up_pipeline" messages;
+  Array.map (fun st -> List.rev st.results) states

@@ -1,0 +1,82 @@
+(** Message-level distributed primitives.
+
+    Every function here executes a genuine synchronous message-passing
+    protocol through {!Network.run} and charges the executed round count to
+    the given ledger.  These are the building blocks the paper's algorithms
+    are assembled from: BFS-tree construction, single-value waves up and
+    down a forest, pipelined dissemination along root paths, and pipelined
+    sorted keyed aggregation (upcast) — the workhorse behind "the root
+    learns the optimal edge per segment / per fragment in O(D + √n)
+    rounds" steps.
+
+    Payloads are [int array]s of at most {!Network.cap_words} words. *)
+
+open Kecss_graph
+
+val bfs_tree : Rounds.t -> Graph.t -> root:int -> Rooted_tree.t
+(** Builds a BFS spanning tree by flooding; ecc(root) rounds. Ties between
+    simultaneous joins break towards the smallest edge id, so the result is
+    deterministic. Requires a connected graph. *)
+
+val exchange :
+  Rounds.t -> Graph.t -> (int -> Network.send list) -> int array Network.inbox array
+(** [exchange ledger g sends] performs one communication round in which
+    vertex [v] emits [sends v]; returns each vertex's inbox. 1 round. *)
+
+val wave_up :
+  Rounds.t ->
+  Forest.t ->
+  value:(int -> int array list -> int array) ->
+  int array array
+(** Convergecast: [value v child_values] computes [v]'s value from its
+    children's (leaves get [[]]); each vertex sends its value to its
+    parent. Returns all values (the roots' entries are the aggregates).
+    Rounds = max tree height. *)
+
+val wave_down :
+  Rounds.t ->
+  Forest.t ->
+  root_value:(int -> int array) ->
+  derive:(int -> parent_value:int array -> int array) ->
+  int array array
+(** Broadcast wave: each root [r] takes value [root_value r]; every other
+    vertex derives its value from its parent's. Rounds = max depth. *)
+
+val down_pipeline :
+  Rounds.t -> Forest.t -> emit:(int -> int array list) -> (int * int array) list array
+(** Pipelined root-path dissemination: every vertex receives, as
+    [(origin, payload)] pairs ordered nearest-ancestor-first, the emissions
+    of all its strict ancestors. Rounds ≤ max over v of
+    (depth v + Σ emissions above v); payloads of ≤ cap−1 words. *)
+
+val broadcast_list : Rounds.t -> Forest.t -> items:(int -> int array list) -> (int * int array) list array
+(** Roots disseminate their item lists to their whole trees (pipelined).
+    Returns per-vertex received [(origin_root, payload)] lists; each root
+    also "receives" its own list, so every vertex of a tree ends with the
+    same data. Rounds ≤ max depth + max #items. *)
+
+val edge_stream : Rounds.t -> Graph.t -> lengths:(int -> int) -> unit
+(** [edge_stream ledger g ~lengths] has both endpoints of every edge [e]
+    with [lengths e > 0] stream that many one-word messages to each other,
+    one per round — the "exchange the root paths over the edge" pattern of
+    §5.3 (and of TAP's case analysis). Rounds = max positive length. *)
+
+val walk_up : Rounds.t -> Forest.t -> sources:int list -> unit
+(** A token travels from each source vertex to its tree's root along parent
+    pointers (several tokens in parallel, at most one hop per round per
+    edge). Models the report/re-rooting walks of fragment merging; rounds =
+    max source depth (+ queueing if sources share a path). *)
+
+val up_pipeline_merge :
+  Rounds.t ->
+  Forest.t ->
+  emit:(int -> (int * int array) list) ->
+  combine:(int array -> int array -> int array) ->
+  (int * int array) list array
+(** Pipelined sorted keyed aggregation. [emit v] lists [(key, payload)]
+    entries sorted by strictly increasing key; entries flow upward, streams
+    are merged in key order, and payloads with equal keys are fused with
+    [combine] (associative/commutative). Returns, {e at each root}, the
+    fully merged sorted entry list of its tree (inner vertices' slots hold
+    [[]]). Rounds ≤ max height + total distinct keys per tree (+O(1));
+    payloads of ≤ cap−2 words. *)

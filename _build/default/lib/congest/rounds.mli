@@ -1,0 +1,37 @@
+(** Round-cost ledger.
+
+    Every distributed primitive charges the exact number of synchronous
+    rounds its execution used, tagged with a category, so experiments can
+    report both total round counts and per-phase breakdowns (e.g. rounds
+    spent building the MST vs. in TAP iterations). *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> category:string -> int -> unit
+(** [charge t ~category r] adds [r] rounds under [category] (prefixed by
+    the current scope). [r] must be non-negative. *)
+
+val scoped : t -> string -> (unit -> 'a) -> 'a
+(** [scoped t name f] runs [f] with [name/] prepended to every category
+    charged inside, so reports show which algorithm phase consumed the
+    primitive rounds (e.g. ["mst/wave_up"]). Nests. *)
+
+val total : t -> int
+(** Total rounds charged so far. *)
+
+val charge_messages : t -> category:string -> int -> unit
+(** [charge_messages t ~category m] records [m] messages sent (scoped like
+    {!charge}). Message complexity is tracked alongside rounds: a CONGEST
+    message is O(log n) bits, so this is the standard message measure. *)
+
+val total_messages : t -> int
+
+val by_category : t -> (string * int) list
+(** Per-category totals, sorted by category name. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Renders the total and the per-category breakdown. *)

@@ -1,0 +1,1 @@
+lib/connectivity/dfs.ml: Array Bitset Graph Kecss_graph List

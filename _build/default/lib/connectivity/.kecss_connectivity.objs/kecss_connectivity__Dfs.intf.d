@@ -1,0 +1,1 @@
+lib/connectivity/dfs.mli: Bitset Graph Kecss_graph

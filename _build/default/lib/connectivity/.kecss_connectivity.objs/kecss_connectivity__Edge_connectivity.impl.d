@@ -1,0 +1,1 @@
+lib/connectivity/edge_connectivity.ml: Array Bitset Graph Kecss_graph Maxflow

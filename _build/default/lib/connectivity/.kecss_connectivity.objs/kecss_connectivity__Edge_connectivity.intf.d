@@ -1,0 +1,1 @@
+lib/connectivity/edge_connectivity.mli: Bitset Graph Kecss_graph

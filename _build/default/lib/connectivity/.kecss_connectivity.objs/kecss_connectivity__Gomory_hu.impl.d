@@ -1,0 +1,1 @@
+lib/connectivity/gomory_hu.ml: Array Bitset Graph Kecss_graph Maxflow

@@ -1,0 +1,1 @@
+lib/connectivity/gomory_hu.mli: Bitset Graph Kecss_graph

@@ -1,0 +1,1 @@
+lib/connectivity/maxflow.ml: Array Bitset Graph Kecss_graph List Queue

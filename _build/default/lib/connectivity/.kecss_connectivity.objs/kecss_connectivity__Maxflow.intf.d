@@ -1,0 +1,1 @@
+lib/connectivity/maxflow.mli: Bitset Graph Kecss_graph

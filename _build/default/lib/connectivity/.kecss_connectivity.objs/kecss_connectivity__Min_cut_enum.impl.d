@@ -1,0 +1,1 @@
+lib/connectivity/min_cut_enum.ml: Array Bitset Dfs Edge_connectivity Graph Hashtbl Kecss_graph List Rng String Union_find

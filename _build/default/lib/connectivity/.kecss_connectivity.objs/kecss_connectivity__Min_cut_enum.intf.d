@@ -1,0 +1,1 @@
+lib/connectivity/min_cut_enum.mli: Bitset Graph Kecss_graph Rng

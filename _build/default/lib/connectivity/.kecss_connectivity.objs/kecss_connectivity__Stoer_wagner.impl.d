@@ -1,0 +1,1 @@
+lib/connectivity/stoer_wagner.ml: Array Bitset Graph Kecss_graph List

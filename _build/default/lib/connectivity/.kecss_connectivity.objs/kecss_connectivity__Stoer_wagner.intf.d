@@ -1,0 +1,1 @@
+lib/connectivity/stoer_wagner.mli: Bitset Graph Kecss_graph

@@ -1,0 +1,1 @@
+lib/connectivity/verify.ml: Bitset Edge_connectivity Format Graph Kecss_graph

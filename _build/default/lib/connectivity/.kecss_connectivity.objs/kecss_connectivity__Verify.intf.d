@@ -1,0 +1,1 @@
+lib/connectivity/verify.mli: Bitset Format Graph Kecss_graph

@@ -1,0 +1,62 @@
+open Kecss_graph
+
+(* Iterative Tarjan lowlink over edge ids.  Re-entering the parent through a
+   distinct parallel edge is allowed, so parallel edges are never bridges. *)
+
+let low_link ?mask g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) and low = Array.make n max_int in
+  let bridges = ref [] in
+  let clock = ref 0 in
+  let allowed id = match mask with None -> true | Some s -> Bitset.mem s id in
+  for start = 0 to n - 1 do
+    if disc.(start) < 0 then begin
+      (* stack entries: (vertex, incoming edge id, adjacency cursor) *)
+      let stack = ref [ (start, -1, ref 0) ] in
+      disc.(start) <- !clock;
+      low.(start) <- !clock;
+      incr clock;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, in_edge, cursor) :: rest ->
+          let a = Graph.adj g v in
+          if !cursor < Array.length a then begin
+            let nb, id = a.(!cursor) in
+            incr cursor;
+            if allowed id && id <> in_edge then
+              if disc.(nb) < 0 then begin
+                disc.(nb) <- !clock;
+                low.(nb) <- !clock;
+                incr clock;
+                stack := (nb, id, ref 0) :: !stack
+              end
+              else low.(v) <- min low.(v) disc.(nb)
+          end
+          else begin
+            stack := rest;
+            match rest with
+            | (p, _, _) :: _ ->
+              low.(p) <- min low.(p) low.(v);
+              if low.(v) > disc.(p) then bridges := in_edge :: !bridges
+            | [] -> ()
+          end
+      done
+    end
+  done;
+  List.sort compare !bridges
+
+let bridges ?mask g = low_link ?mask g
+
+let is_two_edge_connected ?mask g =
+  Graph.is_connected ?mask g && bridges ?mask g = []
+
+let two_edge_components ?mask g =
+  let bs = bridges ?mask g in
+  let keep =
+    match mask with
+    | None -> Graph.all_edges_mask g
+    | Some s -> Bitset.copy s
+  in
+  List.iter (Bitset.remove keep) bs;
+  Graph.components ~mask:keep g

@@ -1,0 +1,20 @@
+(** Linear-time DFS connectivity structure: bridges and 2-edge-connected
+    components.
+
+    A {e bridge} is exactly a cut of size 1 (Definition 2.1 with k = 2), so
+    this module is both a substrate for the TAP algorithms and the ground
+    truth that tests verify label- and tree-based cut detection against. *)
+
+open Kecss_graph
+
+val bridges : ?mask:Bitset.t -> Graph.t -> int list
+(** Edge ids of all bridges of the (sub)graph, in increasing id order.
+    Parallel edges are handled correctly (neither of two parallel edges is
+    a bridge). *)
+
+val is_two_edge_connected : ?mask:Bitset.t -> Graph.t -> bool
+(** Connected on all [n] vertices and bridgeless? *)
+
+val two_edge_components : ?mask:Bitset.t -> Graph.t -> int array
+(** Labels each vertex with its 2-edge-connected component (components of
+    the graph after removing all bridges), numbered from 0. *)

@@ -1,0 +1,64 @@
+open Kecss_graph
+
+type t = { parent_ : int array; label : int array }
+
+let build ?mask ?cap g =
+  let n = Graph.n g in
+  let parent_ = Array.make n 0 in
+  let label = Array.make n max_int in
+  parent_.(0) <- -1;
+  if n > 1 then begin
+    let net = Maxflow.of_graph ?mask ?cap g in
+    (* Gusfield: process vertices in order; split off s from its current
+       parent, re-hanging siblings that fall on s's side of the cut. *)
+    for s = 1 to n - 1 do
+      let t = parent_.(s) in
+      let f = Maxflow.max_flow net ~s ~t in
+      label.(s) <- f;
+      let side = Maxflow.min_cut_side net in
+      for v = s + 1 to n - 1 do
+        if parent_.(v) = t && Bitset.mem side v then parent_.(v) <- s
+      done;
+      if parent_.(t) >= 0 && Bitset.mem side parent_.(t) then begin
+        (* classic Gusfield fix-up: s takes t's place below t's parent *)
+        parent_.(s) <- parent_.(t);
+        parent_.(t) <- s;
+        let tmp = label.(s) in
+        label.(s) <- label.(t);
+        label.(t) <- tmp
+      end
+    done
+  end;
+  { parent_; label }
+
+let parent t v = t.parent_.(v)
+let flow_label t v = t.label.(v)
+
+let min_cut_value t u v =
+  if u = v then max_int
+  else begin
+    (* walk both vertices to the root, tracking the minimum label *)
+    let n = Array.length t.parent_ in
+    let depth x =
+      let rec go d x = if t.parent_.(x) < 0 then d else go (d + 1) t.parent_.(x) in
+      go 0 x
+    in
+    let du = depth u and dv = depth v in
+    let rec lift x steps best =
+      if steps = 0 then (x, best)
+      else lift t.parent_.(x) (steps - 1) (min best t.label.(x))
+    in
+    let u, bu = if du > dv then lift u (du - dv) max_int else (u, max_int) in
+    let v, bv = if dv > du then lift v (dv - du) max_int else (v, max_int) in
+    let rec meet x y best =
+      if x = y then best
+      else meet t.parent_.(x) t.parent_.(y) (min best (min t.label.(x) t.label.(y)))
+    in
+    let best = meet u v (min bu bv) in
+    if best = max_int && n > 1 then max_int else best
+  end
+
+let global_min t =
+  let best = ref max_int in
+  Array.iteri (fun v p -> if p >= 0 then best := min !best t.label.(v)) t.parent_;
+  !best

@@ -1,0 +1,29 @@
+(** Gomory–Hu tree: all-pairs minimum cuts from n−1 max-flow computations.
+
+    The tree has the same vertex set as the graph; the minimum s-t cut
+    value equals the smallest tree-edge label on the s-t tree path. Used to
+    cross-validate the edge-connectivity queries and to answer many-pair
+    cut queries cheaply in the experiment harness. Gusfield's simplified
+    construction (no contractions). *)
+
+open Kecss_graph
+
+type t
+
+val build : ?mask:Bitset.t -> ?cap:(Graph.edge -> int) -> Graph.t -> t
+(** Builds the tree of the (sub)graph under [cap] (default 1 per edge, i.e.
+    edge connectivity). Requires n ≥ 1; works on disconnected graphs
+    (cut values 0 across components). *)
+
+val min_cut_value : t -> int -> int -> int
+(** [min_cut_value t u v] is the minimum u-v cut value. O(n) per query. *)
+
+val parent : t -> int -> int
+(** Tree structure: parent of each vertex, [-1] for vertex 0. *)
+
+val flow_label : t -> int -> int
+(** The cut value on the edge to the parent (unspecified for vertex 0). *)
+
+val global_min : t -> int
+(** The global minimum cut value, min over tree edges (= λ for unit
+    capacities); [max_int] when n = 1. *)

@@ -1,0 +1,132 @@
+open Kecss_graph
+
+type cut = { edge_ids : int list; side : Bitset.t }
+
+let covers g c e =
+  let u, v = Graph.endpoints g e in
+  Bitset.mem c.side u <> Bitset.mem c.side v
+
+let masked_edges ?mask g =
+  Graph.fold_edges
+    (fun e acc ->
+      match mask with
+      | Some s when not (Bitset.mem s e.Graph.id) -> acc
+      | _ -> e.Graph.id :: acc)
+    g []
+  |> List.rev
+
+let canonical_key edge_ids = String.concat "," (List.map string_of_int edge_ids)
+
+let side_of_subset g bits =
+  (* bit i of [bits] decides vertex i+1; vertex 0 always on the side *)
+  let side = Bitset.create (Graph.n g) in
+  Bitset.add side 0;
+  for v = 1 to Graph.n g - 1 do
+    if bits land (1 lsl (v - 1)) <> 0 then Bitset.add side v
+  done;
+  side
+
+let delta ?mask g side =
+  let allowed id = match mask with None -> true | Some s -> Bitset.mem s id in
+  Graph.fold_edges
+    (fun e acc ->
+      if allowed e.Graph.id && Bitset.mem side e.Graph.u <> Bitset.mem side e.Graph.v
+      then e.Graph.id :: acc
+      else acc)
+    g []
+  |> List.sort compare
+
+let enumerate_exhaustive ?mask g ~size =
+  let n = Graph.n g in
+  if n > 24 then invalid_arg "Min_cut_enum.enumerate_exhaustive: n too large";
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  (* subsets of {1..n-1}; vertex 0 pinned to the side, excluding S = V *)
+  for bits = 0 to (1 lsl (n - 1)) - 2 do
+    let side = side_of_subset g bits in
+    let cut_ids = delta ?mask g side in
+    if List.length cut_ids = size then begin
+      let key = canonical_key cut_ids in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        out := { edge_ids = cut_ids; side } :: !out
+      end
+    end
+  done;
+  List.rev !out
+
+let contraction_trial rng g edge_ids =
+  (* One Karger contraction down to two supervertices; returns the side of
+     vertex 0. *)
+  let n = Graph.n g in
+  let uf = Union_find.create n in
+  let order = Array.of_list edge_ids in
+  Rng.shuffle rng order;
+  let remaining = ref n and i = ref 0 in
+  while !remaining > 2 && !i < Array.length order do
+    let u, v = Graph.endpoints g order.(!i) in
+    incr i;
+    if Union_find.union uf u v then decr remaining
+  done;
+  if !remaining > 2 then None
+  else begin
+    let r0 = Union_find.find uf 0 in
+    let side = Bitset.create n in
+    for v = 0 to n - 1 do
+      if Union_find.find uf v = r0 then Bitset.add side v
+    done;
+    Some side
+  end
+
+(* cuts of size 1 are the bridges: no sampling needed *)
+let enumerate_bridges ?mask g =
+  List.map
+    (fun b ->
+      let keep =
+        match mask with
+        | None -> Graph.all_edges_mask g
+        | Some s -> Bitset.copy s
+      in
+      Bitset.remove keep b;
+      let comp = Graph.components ~mask:keep g in
+      let side = Bitset.create (Graph.n g) in
+      Array.iteri (fun v c -> if c = comp.(0) then Bitset.add side v) comp;
+      { edge_ids = [ b ]; side })
+    (Dfs.bridges ?mask g)
+
+let enumerate ?mask ?trials ~rng g ~size =
+  if size = 1 then enumerate_bridges ?mask g
+  else begin
+  let n = Graph.n g in
+  let edge_ids = masked_edges ?mask g in
+  let trials =
+    match trials with
+    | Some t -> t
+    | None ->
+      let ln = int_of_float (ceil (log (float_of_int (max 2 n)))) in
+      3 * n * n * ln
+  in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  for _ = 1 to trials do
+    match contraction_trial rng g edge_ids with
+    | None -> ()
+    | Some side ->
+      let cut_ids = delta ?mask g side in
+      if List.length cut_ids = size then begin
+        let key = canonical_key cut_ids in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          out := { edge_ids = cut_ids; side } :: !out
+        end
+      end
+  done;
+  List.rev !out
+  end
+
+let min_cuts ?mask ~rng g =
+  let lam = Edge_connectivity.lambda ?mask g in
+  if lam = 0 then (0, [])
+  else if lam = 1 then (1, enumerate_bridges ?mask g)
+  else if Graph.n g <= 16 then (lam, enumerate_exhaustive ?mask g ~size:lam)
+  else (lam, enumerate ?mask ~rng g ~size:lam)

@@ -1,0 +1,39 @@
+(** Enumeration of all minimum edge cuts of a connected (sub)graph.
+
+    §4 of the paper assumes each vertex, knowing the whole subgraph H,
+    locally enumerates the cuts of size k−1 of H (H is (k−1)-edge-connected,
+    so these are exactly its minimum cuts, of which there are at most
+    n(n−1)/2).  This module provides that local computation:
+
+    - {!enumerate_exhaustive}: exact, by scanning all 2^(n-1) vertex sides —
+      for small n and for cross-validating the randomized enumerator;
+    - {!enumerate}: seeded Karger contraction — finds every minimum cut with
+      high probability, in the spirit of the paper's own citation of
+      Karger's bound on the number of minimum cuts (footnote 4). *)
+
+open Kecss_graph
+
+type cut = {
+  edge_ids : int list;  (** crossing edges, sorted increasing — the set C *)
+  side : Bitset.t;      (** the side of the bipartition containing vertex 0 *)
+}
+
+val covers : Graph.t -> cut -> int -> bool
+(** [covers g c e]: does edge [e] cover cut [c] (Definition 2.1), i.e. are
+    [e]'s endpoints on opposite sides? *)
+
+val enumerate_exhaustive : ?mask:Bitset.t -> Graph.t -> size:int -> cut list
+(** All cuts δ(S) with exactly [size] crossing edges and both sides
+    non-empty, deduplicated by edge set. Exponential in [n]; guarded to
+    [n <= 24]. *)
+
+val enumerate :
+  ?mask:Bitset.t -> ?trials:int -> rng:Rng.t -> Graph.t -> size:int -> cut list
+(** Karger-contraction enumeration of the cuts of exactly [size] crossing
+    edges. Complete w.h.p. when [size] equals the minimum cut value λ;
+    [trials] defaults to [3 n² ⌈ln n⌉]. Deterministic given [rng].
+    [size = 1] short-circuits to the exact DFS bridge enumeration. *)
+
+val min_cuts : ?mask:Bitset.t -> rng:Rng.t -> Graph.t -> int * cut list
+(** [(λ, cuts)]: the edge connectivity and (w.h.p.) all minimum cuts, using
+    {!enumerate_exhaustive} for n ≤ 16 and {!enumerate} otherwise. *)

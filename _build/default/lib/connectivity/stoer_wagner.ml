@@ -1,0 +1,75 @@
+open Kecss_graph
+
+let min_cut ?mask ?(cap = fun _ -> 1) g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Stoer_wagner.min_cut: n < 2";
+  (* Dense capacity matrix between supervertices. *)
+  let w = Array.make_matrix n n 0 in
+  Graph.iter_edges
+    (fun e ->
+      let ok = match mask with None -> true | Some s -> Bitset.mem s e.Graph.id in
+      if ok then begin
+        let c = cap e in
+        w.(e.Graph.u).(e.Graph.v) <- w.(e.Graph.u).(e.Graph.v) + c;
+        w.(e.Graph.v).(e.Graph.u) <- w.(e.Graph.v).(e.Graph.u) + c
+      end)
+    g;
+  (* members.(v): original vertices merged into supervertex v *)
+  let members = Array.init n (fun v -> [ v ]) in
+  let active = Array.make n true in
+  let best_value = ref max_int and best_members = ref [] in
+  let vertices_left = ref n in
+  while !vertices_left > 1 do
+    (* Maximum-adjacency order over the active supervertices. *)
+    let in_a = Array.make n false in
+    let conn = Array.make n 0 in
+    let prev = ref (-1) and last = ref (-1) in
+    for _ = 1 to !vertices_left do
+      let best = ref (-1) in
+      for v = 0 to n - 1 do
+        if active.(v) && not in_a.(v) then
+          if !best < 0 || conn.(v) > conn.(!best) then best := v
+      done;
+      let v = !best in
+      in_a.(v) <- true;
+      prev := !last;
+      last := v;
+      for u = 0 to n - 1 do
+        if active.(u) && not in_a.(u) then conn.(u) <- conn.(u) + w.(v).(u)
+      done
+    done;
+    (* cut-of-the-phase: the last vertex alone against the rest *)
+    let phase_value = ref 0 in
+    for u = 0 to n - 1 do
+      if active.(u) && u <> !last then phase_value := !phase_value + w.(!last).(u)
+    done;
+    if !phase_value < !best_value then begin
+      best_value := !phase_value;
+      best_members := members.(!last)
+    end;
+    (* merge last into prev *)
+    let s = !prev and t = !last in
+    active.(t) <- false;
+    members.(s) <- members.(t) @ members.(s);
+    for u = 0 to n - 1 do
+      if active.(u) && u <> s then begin
+        w.(s).(u) <- w.(s).(u) + w.(t).(u);
+        w.(u).(s) <- w.(s).(u)
+      end
+    done;
+    decr vertices_left
+  done;
+  let side = Bitset.create n in
+  List.iter (Bitset.add side) !best_members;
+  (* normalise so that vertex 0 is on the reported side *)
+  let side =
+    if Bitset.mem side 0 then side
+    else begin
+      let flip = Bitset.create n in
+      for v = 0 to n - 1 do
+        if not (Bitset.mem side v) then Bitset.add flip v
+      done;
+      flip
+    end
+  in
+  (!best_value, side)

@@ -1,0 +1,14 @@
+(** Stoer–Wagner deterministic global minimum weighted cut.
+
+    Cross-validates {!Edge_connectivity.lambda} (on unit weights the
+    minimum weighted cut value {e is} the edge connectivity) and serves the
+    weighted verification paths. O(n³) with the simple array
+    implementation, ample for the instance sizes used here. *)
+
+open Kecss_graph
+
+val min_cut :
+  ?mask:Bitset.t -> ?cap:(Graph.edge -> int) -> Graph.t -> int * Bitset.t
+(** [min_cut g] is [(value, side)] of a global minimum cut under capacity
+    [cap] (default: each edge counts 1). Requires n ≥ 2. A disconnected
+    (sub)graph yields value 0. *)

@@ -1,0 +1,38 @@
+open Kecss_graph
+
+type report = {
+  spanning : bool;
+  connectivity : int;
+  required : int;
+  weight : int;
+  edge_count : int;
+  ok : bool;
+}
+
+let make_report g mask ~k ~weight_mask =
+  let spanning = Graph.is_connected ~mask g in
+  let connectivity =
+    if not spanning then 0
+    else Edge_connectivity.lambda ~mask ~upper:(k + 1) g
+  in
+  {
+    spanning;
+    connectivity;
+    required = k;
+    weight = Graph.mask_weight g weight_mask;
+    edge_count = Bitset.cardinal mask;
+    ok = spanning && connectivity >= k;
+  }
+
+let check_kecss g sol ~k = make_report g sol ~k ~weight_mask:sol
+
+let check_augmentation g ~h ~aug ~k =
+  let union = Bitset.copy h in
+  Bitset.union_into union aug;
+  make_report g union ~k ~weight_mask:aug
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<h>%s: spanning=%b λ≥%d (need %d), %d edges, weight %d@]"
+    (if r.ok then "OK" else "FAIL")
+    r.spanning r.connectivity r.required r.edge_count r.weight

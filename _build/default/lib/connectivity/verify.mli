@@ -1,0 +1,24 @@
+(** Solution verification: the checks every algorithm's output is put
+    through in tests, examples and experiments. *)
+
+open Kecss_graph
+
+type report = {
+  spanning : bool;       (** does the subgraph touch every vertex? *)
+  connectivity : int;    (** λ of the subgraph (capped at [require + 1]) *)
+  required : int;        (** the k that was requested *)
+  weight : int;          (** total weight of the chosen edges *)
+  edge_count : int;
+  ok : bool;             (** spanning ∧ connectivity ≥ required *)
+}
+
+val check_kecss : Graph.t -> Bitset.t -> k:int -> report
+(** [check_kecss g sol ~k] verifies that the edge set [sol] is a spanning
+    k-edge-connected subgraph of [g] and reports its cost. λ is computed
+    with early exit at [k+1], so verification stays cheap. *)
+
+val check_augmentation : Graph.t -> h:Bitset.t -> aug:Bitset.t -> k:int -> report
+(** Verifies that [h ∪ aug] is k-edge-connected; [weight] counts only the
+    augmentation edges (the objective of Aug_k). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/core/augk.ml: Array Bitset Cost Edge_connectivity Float Graph Hashtbl Kecss_congest Kecss_connectivity Kecss_graph List Min_cut_enum Mst Prim Rng Rounds Union_find

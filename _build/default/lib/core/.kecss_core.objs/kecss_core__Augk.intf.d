@@ -1,0 +1,1 @@
+lib/core/augk.mli: Bitset Forest Graph Kecss_congest Kecss_graph Rng Rounds

@@ -1,0 +1,1 @@
+lib/core/cover.ml: Array Bitset Cost Float Hashtbl Kecss_graph List Option Printf Rng

@@ -1,0 +1,1 @@
+lib/core/cover.mli: Bitset Kecss_graph Rng

@@ -1,0 +1,1 @@
+lib/core/ecss2.ml: Bitset Forest Graph Kecss_congest Kecss_graph Mst Prim Rng Rounds Segments Tap

@@ -1,0 +1,1 @@
+lib/core/ecss2.mli: Bitset Graph Kecss_congest Kecss_graph Rng Rounds Segments Tap

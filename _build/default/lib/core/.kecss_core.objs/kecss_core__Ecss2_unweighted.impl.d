@@ -1,0 +1,1 @@
+lib/core/ecss2_unweighted.ml: Array Bitset Forest Fun Graph Kecss_congest Kecss_graph Prim Rooted_tree Rounds

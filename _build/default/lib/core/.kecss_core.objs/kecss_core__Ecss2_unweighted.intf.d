@@ -1,0 +1,1 @@
+lib/core/ecss2_unweighted.mli: Bitset Graph Kecss_congest Kecss_graph Rooted_tree Rounds

@@ -1,0 +1,1 @@
+lib/core/ft_mst.ml: Array Bitset Forest Fun Graph Kecss_congest Kecss_graph List Mst Prim Rng Rooted_tree Rounds Segments

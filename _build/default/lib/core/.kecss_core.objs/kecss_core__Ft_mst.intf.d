@@ -1,0 +1,1 @@
+lib/core/ft_mst.mli: Bitset Graph Kecss_congest Kecss_graph Rng Rooted_tree Rounds

@@ -1,0 +1,1 @@
+lib/core/kecss.ml: Augk Bitset Forest Graph Kecss_congest Kecss_graph List Mst Prim Rng Rounds

@@ -1,0 +1,1 @@
+lib/core/kecss.mli: Augk Bitset Graph Kecss_congest Kecss_graph Rng

@@ -1,0 +1,1 @@
+lib/core/mds.ml: Array Bitset Cover Fun Graph Kecss_graph List Rng

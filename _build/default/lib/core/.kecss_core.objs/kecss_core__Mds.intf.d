@@ -1,0 +1,1 @@
+lib/core/mds.mli: Bitset Cover Graph Kecss_graph

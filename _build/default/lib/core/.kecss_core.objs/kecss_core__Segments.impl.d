@@ -1,0 +1,1 @@
+lib/core/segments.ml: Array Forest Format Graph Hashtbl Kecss_congest Kecss_graph List Mst Option Prim Rooted_tree Rounds String

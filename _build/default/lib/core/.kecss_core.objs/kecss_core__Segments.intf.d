@@ -1,0 +1,1 @@
+lib/core/segments.mli: Forest Format Kecss_congest Kecss_graph Mst Rooted_tree Rounds

@@ -1,0 +1,1 @@
+lib/core/tap.ml: Array Bitset Cost Forest Fun Graph Hashtbl Kecss_congest Kecss_graph List Network Option Prim Rng Rooted_tree Rounds Segments

@@ -1,0 +1,1 @@
+lib/core/tap.mli: Bitset Cost Forest Kecss_congest Kecss_graph Rng Rounds Segments

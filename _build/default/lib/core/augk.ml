@@ -1,0 +1,255 @@
+open Kecss_graph
+open Kecss_connectivity
+open Kecss_congest
+
+type config = {
+  m_phase : int;
+  max_iterations : int;
+  real_mst_every_iteration : bool;
+  use_mst_filter : bool;
+}
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (2 * v) in
+  go 0 1
+
+let default_config n =
+  let l = max 1 (log2_ceil (n + 1)) in
+  {
+    m_phase = 1;
+    max_iterations = (20 * l * l * l) + 500;
+    real_mst_every_iteration = false;
+    use_mst_filter = true;
+  }
+
+type result = {
+  augmentation : Bitset.t;
+  iterations : int;
+  phases : int;
+  cut_count : int;
+  repaired : int;
+  active_weight : int;
+}
+
+(* Kruskal on the filter weights (A ↦ 0, active ↦ 1, rest ↦ 2), with edge-id
+   tie-break: the same tree the distributed MST of Line 4 computes. *)
+let filter_mst g ~a ~active =
+  let n = Graph.n g in
+  let weight e =
+    if Bitset.mem a e.Graph.id then 0
+    else if Hashtbl.mem active e.Graph.id then 1
+    else 2
+  in
+  let edges = Array.copy (Graph.edges g) in
+  Array.sort
+    (fun e1 e2 -> compare (weight e1, e1.Graph.id) (weight e2, e2.Graph.id))
+    edges;
+  let uf = Union_find.create n in
+  let chosen = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      if Union_find.union uf e.Graph.u e.Graph.v then
+        Hashtbl.replace chosen e.Graph.id ())
+    edges;
+  chosen
+
+(* per-iteration distributed cost beside the MST filter: broadcast of the
+   edges added this iteration and O(D) agreement on the maximum level *)
+let charge_iteration ledger ~bfs_forest ~added =
+  ignore
+    (Prim.wave_up ledger bfs_forest ~value:(fun _ kids ->
+         [| List.fold_left (fun acc k -> max acc k.(0)) 0 kids |]));
+  ignore
+    (Prim.broadcast_list ledger bfs_forest ~items:(fun _ ->
+         [| 0 |] :: List.map (fun e -> [| e |]) added))
+
+let augment ?config ledger rng ~bfs_forest g ~h ~k =
+  Rounds.scoped ledger "augk" @@ fun () ->
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let config = match config with Some c -> c | None -> default_config n in
+  let a = Graph.no_edges_mask g in
+  let in_h_or_a e = Bitset.mem h e || Bitset.mem a e in
+  if Edge_connectivity.is_k_edge_connected ~mask:h g k then
+    {
+      augmentation = a;
+      iterations = 0;
+      phases = 0;
+      cut_count = 0;
+      repaired = 0;
+      active_weight = 0;
+    }
+  else begin
+    let lam = Edge_connectivity.lambda ~mask:h ~upper:k g in
+    if lam < k - 1 then
+      invalid_arg "Augk.augment: H is not (k-1)-edge-connected";
+    (* the vertices learn H over the BFS tree (the O(kn)-edge invariant) *)
+    ignore
+      (Prim.broadcast_list ledger bfs_forest ~items:(fun _ ->
+           List.map (fun e -> [| e |]) (Bitset.elements h)));
+    (* enumerate the size-(k-1) cuts of H — every vertex does this locally *)
+    let cuts =
+      Array.of_list
+        (Min_cut_enum.enumerate ~mask:h ~rng:(Rng.split rng) g ~size:(k - 1))
+    in
+    let cut_covered = Array.make (Array.length cuts) false in
+    (* cover lists in both directions *)
+    let ce = Array.make m 0 in
+    let covers_of_edge = Array.make m [] in
+    let coverers_of_cut = Array.make (Array.length cuts) [] in
+    Array.iteri
+      (fun ci cut ->
+        Graph.iter_edges
+          (fun e ->
+            if
+              (not (Bitset.mem h e.Graph.id))
+              && Min_cut_enum.covers g cut e.Graph.id
+            then begin
+              ce.(e.Graph.id) <- ce.(e.Graph.id) + 1;
+              covers_of_edge.(e.Graph.id) <- ci :: covers_of_edge.(e.Graph.id);
+              coverers_of_cut.(ci) <- e.Graph.id :: coverers_of_cut.(ci)
+            end)
+          g)
+      cuts;
+    let uncovered = ref (Array.length cuts) in
+    let add_to_a e =
+      Bitset.add a e;
+      List.iter
+        (fun ci ->
+          if not cut_covered.(ci) then begin
+            cut_covered.(ci) <- true;
+            decr uncovered;
+            List.iter (fun e' -> ce.(e') <- ce.(e') - 1) coverers_of_cut.(ci)
+          end)
+        covers_of_edge.(e)
+    in
+    (* measured round cost of the distributed MST filter, calibrated once *)
+    let mst_rounds = ref None in
+    let charge_mst_filter ~active =
+      let run_real () =
+        let weights e =
+          if Bitset.mem a e.Graph.id then 0
+          else if Hashtbl.mem active e.Graph.id then 1
+          else 2
+        in
+        let probe = Rounds.create () in
+        ignore (Mst.run probe (Rng.split rng) (Graph.map_weights weights g));
+        Rounds.total probe
+      in
+      match !mst_rounds with
+      | Some r when not config.real_mst_every_iteration ->
+        Rounds.charge ledger ~category:"mst_filter" r
+      | _ ->
+        let r = run_real () in
+        mst_rounds := Some r;
+        Rounds.charge ledger ~category:"mst_filter" r
+    in
+    let iterations = ref 0 in
+    let phases = ref 0 in
+    let active_weight = ref 0 in
+    let current_level = ref Cost.useless in
+    let p_exp = ref 0 (* p = 2^-p_exp *) in
+    let phase_iter = ref 0 in
+    let phase_len = max 1 (config.m_phase * log2_ceil (n + 1)) in
+    while !uncovered > 0 do
+      incr iterations;
+      (* Line 1–2: levels and candidates *)
+      let max_level = ref Cost.useless in
+      Graph.iter_edges
+        (fun e ->
+          if (not (in_h_or_a e.Graph.id)) && ce.(e.Graph.id) > 0 then begin
+            let l = Cost.level ~covered:ce.(e.Graph.id) ~weight:e.Graph.w in
+            if l > !max_level then max_level := l
+          end)
+        g;
+      if !max_level = Cost.useless then begin
+        (* no remaining edge covers an uncovered cut: the enumeration must
+           have produced a cut that is not a real cut of G (impossible for
+           exact enumeration) — fall through to the repair net *)
+        uncovered := 0
+      end
+      else begin
+        if !max_level <> !current_level then begin
+          current_level := !max_level;
+          p_exp := log2_ceil (m + 1);
+          phase_iter := 0;
+          incr phases
+        end;
+        if !iterations > config.max_iterations then p_exp := 0;
+        let p = Float.pow 2.0 (float_of_int (- !p_exp)) in
+        (* Line 3: activation *)
+        let active = Hashtbl.create 64 in
+        Graph.iter_edges
+          (fun e ->
+            if
+              (not (in_h_or_a e.Graph.id))
+              && ce.(e.Graph.id) > 0
+              && Cost.level ~covered:ce.(e.Graph.id) ~weight:e.Graph.w
+                 = !max_level
+              && (!p_exp = 0 || Rng.bernoulli rng p)
+            then begin
+              Hashtbl.replace active e.Graph.id ();
+              active_weight := !active_weight + e.Graph.w
+            end)
+          g;
+        (* Line 4: the MST filter *)
+        let added = ref [] in
+        if Hashtbl.length active > 0 then begin
+          if config.use_mst_filter then begin
+            let chosen = filter_mst g ~a ~active in
+            Hashtbl.iter
+              (fun e () -> if Hashtbl.mem chosen e then added := e :: !added)
+              active
+          end
+          else
+            (* ablation: skip Line 4 and keep every active candidate *)
+            Hashtbl.iter (fun e () -> added := e :: !added) active;
+          List.iter add_to_a (List.sort compare !added)
+        end;
+        charge_mst_filter ~active;
+        charge_iteration ledger ~bfs_forest ~added:!added;
+        (* probability schedule *)
+        incr phase_iter;
+        if !phase_iter >= phase_len && !p_exp > 0 then begin
+          decr p_exp;
+          phase_iter := 0;
+          incr phases
+        end
+      end
+    done;
+    (* exact termination check with greedy repair (Lemma-4.5 failures) *)
+    let repaired = ref 0 in
+    let union () =
+      let u = Bitset.copy h in
+      Bitset.union_into u a;
+      u
+    in
+    while not (Edge_connectivity.is_k_edge_connected ~mask:(union ()) g k) do
+      incr repaired;
+      if !repaired > Graph.m g then
+        failwith "Augk.augment: graph is not k-edge-connected";
+      let _, side, _ = Edge_connectivity.global_min_cut ~mask:(union ()) g in
+      let best = ref None in
+      Graph.iter_edges
+        (fun e ->
+          if
+            (not (in_h_or_a e.Graph.id))
+            && Bitset.mem side e.Graph.u <> Bitset.mem side e.Graph.v
+          then
+            match !best with
+            | Some (w, id) when (w, id) <= (e.Graph.w, e.Graph.id) -> ()
+            | _ -> best := Some (e.Graph.w, e.Graph.id))
+        g;
+      match !best with
+      | Some (_, e) -> add_to_a e
+      | None -> failwith "Augk.augment: graph is not k-edge-connected"
+    done;
+    {
+      augmentation = a;
+      iterations = !iterations;
+      phases = !phases;
+      cut_count = Array.length cuts;
+      repaired = !repaired;
+      active_weight = !active_weight;
+    }
+  end

@@ -1,0 +1,66 @@
+(** The augmentation algorithm Aug_k of §4: given a (k−1)-edge-connected
+    spanning subgraph H of a k-edge-connected graph G, add an approximately
+    minimum weight edge set A so that H ∪ A is k-edge-connected.
+
+    Structure per iteration (§4):
+    {ol
+    {- every edge e ∉ H ∪ A computes ρ̃(e) from the uncovered size-(k−1)
+       cuts of H it covers — a local computation, since every vertex knows
+       all of H ∪ A (O(kn) edges);}
+    {- maximum-ρ̃ edges are candidates; each becomes {e active} with the
+       guessed probability p, which starts at 1/2^⌈log m⌉ and doubles every
+       M·⌈log n⌉ iterations, resetting when ρ̃ drops;}
+    {- an auxiliary MST under weights (A ↦ 0, active ↦ 1, rest ↦ 2) filters
+       the active candidates, so A stays a forest (Claim 4.1) while every
+       active candidate's cuts end the iteration covered (Claim 4.3).}}
+
+    The size-(k−1) cuts of H are its minimum cuts; they are enumerated with
+    {!Kecss_connectivity.Min_cut_enum} (complete w.h.p.), and an exact
+    connectivity re-check with greedy repair backs the termination
+    condition, so the output is unconditionally k-edge-connected.
+
+    Round accounting: one full message-level distributed MST is executed on
+    the filter weights of the first iteration and its measured cost is
+    charged to every subsequent iteration (same protocol, same topology —
+    only weights change, which does not affect the phase structure);
+    set [real_mst_every_iteration] to re-execute it each time. Newly added
+    edges are pipeline-broadcast over the BFS tree every iteration (the
+    "all vertices know A" invariant), and the maximum-ρ̃ agreement costs
+    O(D) waves. *)
+
+open Kecss_graph
+open Kecss_congest
+
+type config = {
+  m_phase : int;  (** the constant M: phase length is [m_phase·⌈log₂ n⌉] *)
+  max_iterations : int;  (** safety bound; after it p is pinned to 1 *)
+  real_mst_every_iteration : bool;
+  use_mst_filter : bool;
+      (** [false] disables the Line-4 MST filter (every active candidate is
+          kept) — the A-mstfilter ablation. A then need not stay a forest
+          and the solution weight degrades. *)
+}
+
+val default_config : int -> config
+(** [default_config n]: M = 1, iteration bound Θ(log³ n). *)
+
+type result = {
+  augmentation : Bitset.t;
+  iterations : int;
+  phases : int;        (** number of distinct (level, p) phases traversed *)
+  cut_count : int;     (** size-(k−1) cuts of H that were enumerated *)
+  repaired : int;      (** cuts found only by the exact safety net (0 w.h.p.) *)
+  active_weight : int; (** total weight of all edges ever active (§4.2's A') *)
+}
+
+val augment :
+  ?config:config ->
+  Rounds.t ->
+  Rng.t ->
+  bfs_forest:Forest.t ->
+  Graph.t ->
+  h:Bitset.t ->
+  k:int ->
+  result
+(** [augment ledger rng ~bfs_forest g ~h ~k] requires [h] spanning and
+    (k−1)-edge-connected, and [g] k-edge-connected. *)

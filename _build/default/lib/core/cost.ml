@@ -1,0 +1,28 @@
+type level = int
+
+let infinite = max_int
+let useless = min_int
+
+(* smallest integer z with 2^z * weight > covered, computed with integer
+   arithmetic only (weights are polynomial, so no overflow concern) *)
+let level ~covered ~weight =
+  if covered < 0 || weight < 0 then invalid_arg "Cost.level: negative input";
+  if covered = 0 then useless
+  else if weight = 0 then infinite
+  else if weight <= covered then
+    let rec go z acc = if acc > covered then z else go (z + 1) (2 * acc) in
+    go 0 weight
+  else begin
+    (* negative exponent: the largest t with weight > covered * 2^t *)
+    let rec go t pow = if weight > covered * pow then go (t + 1) (2 * pow) else t in
+    -(go 0 1 - 1)
+  end
+
+let is_candidate_level l = l <> useless
+let max_level = List.fold_left max useless
+let rho_upper l = Float.pow 2.0 (float_of_int l)
+
+let pp ppf l =
+  if l = infinite then Format.pp_print_string ppf "inf"
+  else if l = useless then Format.pp_print_string ppf "none"
+  else Format.fprintf ppf "2^%d" l

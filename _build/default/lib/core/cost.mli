@@ -1,0 +1,38 @@
+(** Rounded cost-effectiveness (§2.1).
+
+    The cost-effectiveness of a candidate edge is ρ(e) = |Ce| / w(e): the
+    number of still-uncovered cuts it covers per unit weight, with
+    ρ(e) = ∞ when w(e) = 0.  Algorithms compare only the {e rounded} value
+    ρ̃(e) — the smallest power of two strictly greater than ρ(e) — so a
+    level is fully described by its exponent.  This module works with
+    exponents exactly (no floating point): levels are totally ordered
+    integers, with two distinguished values for ∞ and for "covers
+    nothing". *)
+
+type level = int
+(** The exponent z such that ρ̃ = 2^z; ordered by the usual int order
+    (with {!useless} = [min_int] at the bottom and {!infinite} = [max_int]
+    at the top). Kept abstract-by-convention: construct with {!level}. *)
+
+val infinite : level
+(** ρ̃ of a zero-weight edge that still covers something. *)
+
+val useless : level
+(** The bottom level: |Ce| = 0. Never a candidate. *)
+
+val level : covered:int -> weight:int -> level
+(** [level ~covered ~weight] is the rounded cost-effectiveness exponent of
+    an edge covering [covered] uncovered cuts at weight [weight]: the
+    smallest z with 2^z > covered/weight. [covered = 0] gives {!useless};
+    [weight = 0] (with [covered > 0]) gives {!infinite}. *)
+
+val is_candidate_level : level -> bool
+(** Neither {!useless} (nothing to gain) — ∞ and finite levels qualify. *)
+
+val max_level : level list -> level
+(** Maximum of a list, {!useless} for the empty list. *)
+
+val rho_upper : level -> float
+(** The numeric value 2^z of a finite level, for reporting. *)
+
+val pp : Format.formatter -> level -> unit

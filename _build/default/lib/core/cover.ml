@@ -1,0 +1,220 @@
+open Kecss_graph
+
+type problem = {
+  elements : int;
+  candidates : int;
+  weight : int -> int;
+  covered_by : int -> int list;
+}
+
+type strategy =
+  | Voting of { divisor : int }
+  | Guessing of { m_phase : int }
+
+type result = {
+  chosen : Bitset.t;
+  iterations : int;
+  weight : int;
+  cost_sum : float;
+  forced : int;
+}
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (2 * v) in
+  go 0 1
+
+(* shared mutable coverage state *)
+type state = {
+  p : problem;
+  covered : bool array;
+  mutable uncovered : int;
+  ce : int array;                 (* per candidate: uncovered covered *)
+  coverers : int list array;      (* per element: candidates covering it *)
+  chosen : Bitset.t;
+  mutable cost_sum : float;
+}
+
+let init p =
+  if p.elements < 0 || p.candidates < 0 then invalid_arg "Cover: negative sizes";
+  let coverers = Array.make p.elements [] in
+  let ce = Array.make p.candidates 0 in
+  for c = 0 to p.candidates - 1 do
+    List.iter
+      (fun el ->
+        if el < 0 || el >= p.elements then invalid_arg "Cover: element out of range";
+        coverers.(el) <- c :: coverers.(el);
+        ce.(c) <- ce.(c) + 1)
+      (p.covered_by c)
+  done;
+  Array.iteri
+    (fun el cs -> if cs = [] then invalid_arg (Printf.sprintf "Cover: element %d uncoverable" el))
+    coverers;
+  {
+    p;
+    covered = Array.make p.elements false;
+    uncovered = p.elements;
+    ce;
+    coverers;
+    chosen = Bitset.create (max 1 p.candidates);
+    cost_sum = 0.0;
+  }
+
+let commit st c =
+  if not (Bitset.mem st.chosen c) then begin
+    Bitset.add st.chosen c;
+    List.iter
+      (fun el ->
+        if not st.covered.(el) then begin
+          st.covered.(el) <- true;
+          st.uncovered <- st.uncovered - 1;
+          List.iter (fun c' -> st.ce.(c') <- st.ce.(c') - 1) st.coverers.(el)
+        end)
+      (st.p.covered_by c)
+  end
+
+let max_level st =
+  let best = ref Cost.useless in
+  for c = 0 to st.p.candidates - 1 do
+    if (not (Bitset.mem st.chosen c)) && st.ce.(c) > 0 then begin
+      let l = Cost.level ~covered:st.ce.(c) ~weight:(st.p.weight c) in
+      if l > !best then best := l
+    end
+  done;
+  !best
+
+let candidates_at st level =
+  let acc = ref [] in
+  for c = st.p.candidates - 1 downto 0 do
+    if
+      (not (Bitset.mem st.chosen c))
+      && st.ce.(c) > 0
+      && Cost.level ~covered:st.ce.(c) ~weight:(st.p.weight c) = level
+    then acc := c :: !acc
+  done;
+  !acc
+
+let solve ?max_iterations rng p strategy =
+  let st = init p in
+  let n = max 2 (max p.elements p.candidates) in
+  let l = log2_ceil (n + 1) in
+  let max_iterations =
+    match max_iterations with Some m -> m | None -> (40 * l * l * l) + 300
+  in
+  let iterations = ref 0 and forced = ref 0 in
+  (* guessing-schedule state *)
+  let current_level = ref Cost.useless in
+  let p_exp = ref 0 and phase_iter = ref 0 in
+  let rank_bound = 1 lsl 60 in
+  while st.uncovered > 0 do
+    incr iterations;
+    let level = max_level st in
+    assert (Cost.is_candidate_level level);
+    let cands = candidates_at st level in
+    if !iterations > max_iterations then begin
+      (* unconditional termination: one greedy step *)
+      incr forced;
+      commit st (List.hd cands)
+    end
+    else begin
+      match strategy with
+      | Voting { divisor } ->
+        let ranked =
+          List.map (fun c -> (c, Rng.int rng rank_bound + 1, st.ce.(c))) cands
+        in
+        let best = Array.make p.elements (max_int, max_int, 0) in
+        List.iter
+          (fun (c, r, size) ->
+            List.iter
+              (fun el ->
+                if (not st.covered.(el)) && (r, c) < (let br, bc, _ = best.(el) in (br, bc))
+                then best.(el) <- (r, c, size))
+              (p.covered_by c))
+          ranked;
+        let votes = Hashtbl.create 16 in
+        Array.iteri
+          (fun el (_, c, _) ->
+            if (not st.covered.(el)) && c <> max_int then
+              Hashtbl.replace votes c
+                (1 + Option.value ~default:0 (Hashtbl.find_opt votes c)))
+          best;
+        let added =
+          List.filter_map
+            (fun (c, _, size) ->
+              let v = Option.value ~default:0 (Hashtbl.find_opt votes c) in
+              if divisor * v >= size then Some c else None)
+            ranked
+        in
+        (* §3.3 cost charging before coverage flips *)
+        let added_set = Hashtbl.create 8 in
+        List.iter (fun c -> Hashtbl.replace added_set c ()) added;
+        Array.iteri
+          (fun el (_, c, size) ->
+            if (not st.covered.(el)) && c <> max_int && Hashtbl.mem added_set c
+            then
+              st.cost_sum <-
+                st.cost_sum +. (float_of_int (p.weight c) /. float_of_int size))
+          best;
+        List.iter (commit st) added
+      | Guessing { m_phase } ->
+        if level <> !current_level then begin
+          current_level := level;
+          p_exp := log2_ceil (p.candidates + 1);
+          phase_iter := 0
+        end;
+        let prob = Float.pow 2.0 (float_of_int (- !p_exp)) in
+        List.iter
+          (fun c -> if !p_exp = 0 || Rng.bernoulli rng prob then commit st c)
+          cands;
+        incr phase_iter;
+        if !phase_iter >= max 1 (m_phase * l) && !p_exp > 0 then begin
+          decr p_exp;
+          phase_iter := 0
+        end
+    end
+  done;
+  let weight =
+    Bitset.fold (fun c acc -> acc + p.weight c) st.chosen 0
+  in
+  {
+    chosen = st.chosen;
+    iterations = !iterations;
+    weight;
+    cost_sum = st.cost_sum;
+    forced = !forced;
+  }
+
+let greedy p =
+  let st = init p in
+  while st.uncovered > 0 do
+    let best = ref (-1) and best_key = ref (0, 0) in
+    (* maximize ce/w: compare fractions by cross-multiplication *)
+    for c = 0 to p.candidates - 1 do
+      if (not (Bitset.mem st.chosen c)) && st.ce.(c) > 0 then begin
+        let key = (st.ce.(c), p.weight c) in
+        let better =
+          !best < 0
+          ||
+          let bc, bw = !best_key and cc, cw = key in
+          if bw = 0 then false
+          else if cw = 0 then true
+          else cc * bw > bc * cw
+        in
+        if better then begin
+          best := c;
+          best_key := key
+        end
+      end
+    done;
+    assert (!best >= 0);
+    commit st !best
+  done;
+  st.chosen
+
+let is_cover p chosen =
+  let covered = Array.make (max 1 p.elements) false in
+  Bitset.iter (fun c -> List.iter (fun el -> covered.(el) <- true) (p.covered_by c)) chosen;
+  let ok = ref true in
+  for el = 0 to p.elements - 1 do
+    if not covered.(el) then ok := false
+  done;
+  !ok

@@ -1,0 +1,54 @@
+(** The abstract covering framework of §2.1, with both of the paper's
+    symmetry-breaking mechanisms.
+
+    All three k-ECSS algorithms are instances of one scheme: maintain the
+    set of still-uncovered elements (cuts), repeatedly declare the
+    candidates of maximum rounded cost-effectiveness, break symmetry
+    randomly, and add the survivors. §3 breaks symmetry by {e voting}
+    (guaranteed O(log N) ratio); §4–5 by {e probability guessing}
+    (expected O(log N) ratio). The paper argues (§1.2) the approach applies
+    to covering problems at large — this module is that claim in code, and
+    {!Mds} instantiates it for minimum dominating set exactly as in Jia
+    et al. [17].
+
+    The framework is combinatorial (no round accounting): each concrete
+    distributed instantiation charges its own communication, as the main
+    algorithms do. *)
+
+open Kecss_graph
+
+type problem = {
+  elements : int;               (** elements are [0 .. elements-1] *)
+  candidates : int;             (** candidates are [0 .. candidates-1] *)
+  weight : int -> int;          (** non-negative candidate weights *)
+  covered_by : int -> int list; (** the elements a candidate covers *)
+}
+
+type strategy =
+  | Voting of { divisor : int }
+      (** §3: elements vote for their minimum-rank candidate; a candidate
+          survives with ≥ |Ce|/divisor votes. The paper's divisor is 8. *)
+  | Guessing of { m_phase : int }
+      (** §4: candidates activate with probability p, doubling every
+          [m_phase·⌈log₂ n⌉] iterations per level. *)
+
+type result = {
+  chosen : Bitset.t;     (** over candidate indices *)
+  iterations : int;
+  weight : int;
+  cost_sum : float;
+      (** the §3.3 charging sum; for {!Voting} the Lemma 3.5 invariant
+          [weight ≤ divisor · cost_sum] holds whenever no fallback greedy
+          step fired. *)
+  forced : int;          (** fallback greedy additions (0 w.h.p.) *)
+}
+
+val solve : ?max_iterations:int -> Rng.t -> problem -> strategy -> result
+(** Covers every element; raises [Invalid_argument] if some element has no
+    covering candidate. *)
+
+val greedy : problem -> Bitset.t
+(** The classical sequential greedy (one best candidate per step) — the
+    H_N-approximation yardstick. *)
+
+val is_cover : problem -> Bitset.t -> bool

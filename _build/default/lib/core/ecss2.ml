@@ -1,0 +1,33 @@
+open Kecss_graph
+open Kecss_congest
+
+type result = {
+  solution : Bitset.t;
+  mst_weight : int;
+  augmentation_weight : int;
+  tap : Tap.result;
+  segments : Segments.t;
+  rounds : int;
+}
+
+let solve_with ?tap_config ledger rng g =
+  let bfs = Prim.bfs_tree ledger g ~root:0 in
+  let bfs_forest = Forest.of_rooted_tree bfs in
+  let mst = Mst.run ledger (Rng.split rng) g in
+  let segments = Segments.build ledger ~bfs_forest mst in
+  let tap = Tap.augment ?config:tap_config ledger (Rng.split rng) ~bfs_forest segments in
+  let solution = Bitset.copy mst.Mst.mask in
+  Bitset.union_into solution tap.Tap.augmentation;
+  {
+    solution;
+    mst_weight = Graph.mask_weight g mst.Mst.mask;
+    augmentation_weight = Graph.mask_weight g tap.Tap.augmentation;
+    tap;
+    segments;
+    rounds = Rounds.total ledger;
+  }
+
+let solve ?tap_config ?(seed = 1) g =
+  let ledger = Rounds.create () in
+  let rng = Rng.create ~seed in
+  solve_with ?tap_config ledger rng g

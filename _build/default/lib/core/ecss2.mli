@@ -1,0 +1,23 @@
+(** Weighted 2-ECSS (Theorem 1.1): build the MST, decompose it into
+    segments, and augment it to 2-edge-connectivity with the weighted TAP
+    algorithm — O(log n) approximation in O((D + √n) log² n) rounds. *)
+
+open Kecss_graph
+open Kecss_congest
+
+type result = {
+  solution : Bitset.t;        (** MST ∪ A — a 2-edge-connected subgraph *)
+  mst_weight : int;
+  augmentation_weight : int;
+  tap : Tap.result;
+  segments : Segments.t;
+  rounds : int;               (** total rounds of the whole run *)
+}
+
+val solve : ?tap_config:Tap.config -> ?seed:int -> Graph.t -> result
+(** Solves weighted 2-ECSS on a 2-edge-connected graph. [seed] drives all
+    randomness (default 1). *)
+
+val solve_with : ?tap_config:Tap.config -> Rounds.t -> Rng.t -> Graph.t -> result
+(** As {!solve} but with caller-supplied ledger and RNG, so that round
+    breakdowns compose with a surrounding experiment. *)

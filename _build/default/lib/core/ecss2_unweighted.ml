@@ -1,0 +1,108 @@
+open Kecss_graph
+open Kecss_congest
+
+type result = {
+  h : Bitset.t;
+  tree : Rooted_tree.t;
+  augmentation : Bitset.t;
+}
+
+let solve_with ledger g =
+  Rounds.scoped ledger "ecss2u" @@ fun () ->
+  let n = Graph.n g in
+  let tree = Prim.bfs_tree ledger g ~root:0 in
+  let forest = Forest.of_rooted_tree tree in
+  (* charge the O(D) communication: root paths down the tree, LCA-depth
+     exchange across non-tree edges, and the two selection waves *)
+  ignore
+    (Prim.down_pipeline ledger forest ~emit:(fun v ->
+         let pe = Rooted_tree.parent_edge tree v in
+         if pe < 0 then [] else [ [| pe |] ]));
+  Prim.edge_stream ledger g ~lengths:(fun e ->
+      if Rooted_tree.is_tree_edge tree e then 0
+      else
+        let u, v = Graph.endpoints g e in
+        1 + min (Rooted_tree.depth tree u) (Rooted_tree.depth tree v));
+  ignore (Prim.wave_up ledger forest ~value:(fun _ _ -> [| 0 |]));
+  ignore
+    (Prim.wave_down ledger forest
+       ~root_value:(fun _ -> [| 0 |])
+       ~derive:(fun _ ~parent_value -> parent_value));
+  (* low(x): the shallowest LCA depth of a non-tree edge with an endpoint
+     in subtree(x), with the witnessing edge *)
+  let low_depth = Array.make n max_int in
+  let low_edge = Array.make n (-1) in
+  let improve x d e =
+    if d < low_depth.(x) then begin
+      low_depth.(x) <- d;
+      low_edge.(x) <- e
+    end
+  in
+  Graph.iter_edges
+    (fun e ->
+      if not (Rooted_tree.is_tree_edge tree e.Graph.id) then begin
+        let a = Rooted_tree.lca tree e.Graph.u e.Graph.v in
+        let d = Rooted_tree.depth tree a in
+        improve e.Graph.u d e.Graph.id;
+        improve e.Graph.v d e.Graph.id
+      end)
+    g;
+  let order = Rooted_tree.preorder tree in
+  for i = n - 1 downto 0 do
+    let x = order.(i) in
+    if x <> 0 then begin
+      let p = Rooted_tree.parent tree x in
+      improve p low_depth.(x) low_edge.(x)
+    end
+  done;
+  (* greedy cover, deepest tree edge first, skipping covered stretches *)
+  let covered = Array.make n false in
+  let jump = Array.init n Fun.id in
+  let root = Rooted_tree.root tree in
+  let rec find x =
+    if x = root || not covered.(x) then x
+    else begin
+      let r = find jump.(x) in
+      jump.(x) <- r;
+      r
+    end
+  in
+  let cover x =
+    if not covered.(x) then begin
+      covered.(x) <- true;
+      jump.(x) <- Rooted_tree.parent tree x
+    end
+  in
+  let cover_path e =
+    let u, v = Graph.endpoints g e in
+    let l = Rooted_tree.lca tree u v in
+    let ld = Rooted_tree.depth tree l in
+    let rec walk x =
+      let x = find x in
+      if Rooted_tree.depth tree x > ld then begin
+        cover x;
+        walk (Rooted_tree.parent tree x)
+      end
+    in
+    walk u;
+    walk v
+  in
+  let aug = Graph.no_edges_mask g in
+  let by_depth = Array.copy order in
+  Array.sort
+    (fun a b -> compare (Rooted_tree.depth tree b) (Rooted_tree.depth tree a))
+    by_depth;
+  Array.iter
+    (fun x ->
+      if x <> root && not covered.(x) then begin
+        if low_edge.(x) < 0 || low_depth.(x) >= Rooted_tree.depth tree x then
+          failwith "Ecss2_unweighted: graph is not 2-edge-connected";
+        Bitset.add aug low_edge.(x);
+        cover_path low_edge.(x)
+      end)
+    by_depth;
+  let h = Rooted_tree.edges_mask tree in
+  Bitset.union_into h aug;
+  { h; tree; augmentation = aug }
+
+let solve g = solve_with (Rounds.create ()) g

@@ -1,0 +1,27 @@
+(** The O(D)-round 2-approximation for unweighted 2-ECSS
+    (Censor-Hillel–Dory, the paper's reference [1]) — the starting
+    subgraph H of the unweighted 3-ECSS algorithm of §5.
+
+    A BFS tree T is built, and every uncovered tree edge (processed
+    leaves-to-root) is covered by the non-tree edge from its subtree whose
+    upper endpoint is shallowest — each tree edge adds at most one
+    augmentation edge, so |T ∪ A| ≤ 2(n−1) < 2·OPT (any 2-ECSS needs ≥ n
+    edges). Communication is a constant number of waves on the BFS tree:
+    O(D) rounds.
+
+    The result's diameter is O(D), which §5 needs for the label waves. *)
+
+open Kecss_graph
+open Kecss_congest
+
+type result = {
+  h : Bitset.t;            (** T ∪ A: spanning, 2-edge-connected *)
+  tree : Rooted_tree.t;    (** the BFS tree T ⊆ h *)
+  augmentation : Bitset.t; (** A = h minus the tree edges *)
+}
+
+val solve_with : Rounds.t -> Graph.t -> result
+(** Requires a 2-edge-connected graph; raises [Failure] otherwise. *)
+
+val solve : Graph.t -> result
+(** {!solve_with} with a throwaway ledger. *)

@@ -1,0 +1,187 @@
+open Kecss_graph
+open Kecss_connectivity
+open Kecss_congest
+module Labels = Kecss_cycle_space.Labels
+
+type config = { m_phase : int; max_iterations : int; bits : int }
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (2 * v) in
+  go 0 1
+
+let default_config n =
+  let l = max 1 (log2_ceil (n + 1)) in
+  { m_phase = 1; max_iterations = (20 * l * l * l) + 500; bits = Labels.default_bits }
+
+type result = {
+  solution : Bitset.t;
+  h : Bitset.t;
+  augmentation : Bitset.t;
+  iterations : int;
+  phases : int;
+  repaired : int;
+  edge_count : int;
+}
+
+(* O(D): agree on the maximum rounded cost-effectiveness over the tree *)
+let charge_level_agreement ledger forest =
+  ignore
+    (Prim.wave_up ledger forest ~value:(fun _ kids ->
+         [| List.fold_left (fun acc k -> max acc k.(0)) 0 kids |]));
+  ignore
+    (Prim.wave_down ledger forest
+       ~root_value:(fun _ -> [| 0 |])
+       ~derive:(fun _ ~parent_value -> parent_value))
+
+(* the common §5 augmentation loop, shared by the unweighted (BFS-tree)
+   algorithm of Theorem 1.3 and the weighted (MST) variant of §5.4 *)
+let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let config = match config with Some c -> c | None -> default_config n in
+  let forest = Forest.of_rooted_tree tree in
+  let a = Graph.no_edges_mask g in
+  let h_and_a () =
+    let u = Bitset.copy h in
+    Bitset.union_into u a;
+    u
+  in
+  let height = Array.fold_left max 0 (Array.map (Rooted_tree.depth tree) (Rooted_tree.preorder tree)) in
+  let iterations = ref 0 in
+  let phases = ref 0 in
+  let current_level = ref Cost.useless in
+  let level_cap = ref max_int in
+  let p_exp = ref 0 in
+  let phase_iter = ref 0 in
+  let phase_len = max 1 (config.m_phase * log2_ceil (n + 1)) in
+  let finished = ref false in
+  while not !finished do
+    (* fresh circulation of H ∪ A — the distributed O(D) wave of §5.1 *)
+    let labels =
+      Labels.compute_distributed ~bits:config.bits ledger (Rng.split rng) tree
+        ~h_mask:(h_and_a ())
+    in
+    if Labels.is_three_edge_connected labels then finished := true
+    else if !iterations >= config.max_iterations then finished := true
+    else begin
+      incr iterations;
+      (* dissemination charges of §5.3: root-path labels down the tree,
+         path exchange across candidate edges, pipelined n_φ(t) upcast *)
+      ignore
+        (Prim.down_pipeline ledger forest ~emit:(fun v ->
+             let pe = Rooted_tree.parent_edge tree v in
+             if pe < 0 then [] else [ [| pe; Labels.label labels pe |] ]));
+      Prim.edge_stream ledger g ~lengths:(fun e ->
+          if Bitset.mem h e || Bitset.mem a e then 0
+          else
+            let u, v = Graph.endpoints g e in
+            1 + min (Rooted_tree.depth tree u) (Rooted_tree.depth tree v));
+      (* the Claim 5.9 pipelined upcast of the n_φ(t) values along root
+         paths: O(height) rounds with pipelining (Theorem 4.2 of [32]) *)
+      Rounds.charge ledger ~category:"nphi_upcast" ((2 * height) + 2);
+      (* levels *)
+      let cand_level = Array.make m Cost.useless in
+      let max_level = ref Cost.useless in
+      Graph.iter_edges
+        (fun e ->
+          if not (Bitset.mem h e.Graph.id || Bitset.mem a e.Graph.id) then begin
+            let rho = Labels.pairs_covered labels e.Graph.id in
+            let l = Cost.level ~covered:rho ~weight:(edge_weight e) in
+            cand_level.(e.Graph.id) <- l;
+            if l > !max_level then max_level := l
+          end)
+        g;
+      let level = min !max_level !level_cap in
+      charge_level_agreement ledger forest;
+      if (not (Cost.is_candidate_level level)) || level < 1 then
+        (* nothing covers anything: only phantom pairs remain *)
+        finished := true
+      else begin
+        if level <> !current_level then begin
+          current_level := level;
+          p_exp := log2_ceil (m + 1);
+          phase_iter := 0;
+          incr phases
+        end;
+        let p = Float.pow 2.0 (float_of_int (- !p_exp)) in
+        (* Line 3: all active candidates join A directly *)
+        let added = ref [] in
+        Graph.iter_edges
+          (fun e ->
+            if
+              cand_level.(e.Graph.id) >= level
+              && (not (Bitset.mem a e.Graph.id))
+              && (!p_exp = 0 || Rng.bernoulli rng p)
+            then begin
+              Bitset.add a e.Graph.id;
+              added := e.Graph.id :: !added
+            end)
+          g;
+        ignore
+          (Prim.broadcast_list ledger forest ~items:(fun _ ->
+               [| 0 |] :: List.map (fun e -> [| e |]) !added));
+        (* probability schedule; at p = 1 the level must drop (Claim 5.12) *)
+        if !p_exp = 0 then level_cap := level - 1;
+        incr phase_iter;
+        if !phase_iter >= phase_len && !p_exp > 0 then begin
+          decr p_exp;
+          phase_iter := 0;
+          incr phases
+        end
+      end
+    end
+  done;
+  (* exact verification with greedy repair (one-sided errors make this a
+     no-op w.h.p.; it guards the truncated runs) *)
+  let repaired = ref 0 in
+  while not (Edge_connectivity.is_k_edge_connected ~mask:(h_and_a ()) g 3) do
+    incr repaired;
+    if !repaired > m then failwith "Ecss3: graph is not 3-edge-connected";
+    let _, side, _ = Edge_connectivity.global_min_cut ~mask:(h_and_a ()) g in
+    let best = ref None in
+    Graph.iter_edges
+      (fun e ->
+        if
+          (not (Bitset.mem h e.Graph.id || Bitset.mem a e.Graph.id))
+          && Bitset.mem side e.Graph.u <> Bitset.mem side e.Graph.v
+        then
+          match !best with
+          | Some (w, id) when (w, id) <= (edge_weight e, e.Graph.id) -> ()
+          | _ -> best := Some (edge_weight e, e.Graph.id))
+      g;
+    match !best with
+    | Some (_, e) -> Bitset.add a e
+    | None -> failwith "Ecss3: graph is not 3-edge-connected"
+  done;
+  let solution = h_and_a () in
+  {
+    solution;
+    h;
+    augmentation = a;
+    iterations = !iterations;
+    phases = !phases;
+    repaired = !repaired;
+    edge_count = Bitset.cardinal solution;
+  }
+
+let solve_with ?config ledger rng g =
+  Rounds.scoped ledger "ecss3" @@ fun () ->
+  let start = Ecss2_unweighted.solve_with ledger g in
+  augment_core ?config ledger rng g ~tree:start.Ecss2_unweighted.tree
+    ~h:start.Ecss2_unweighted.h
+    ~edge_weight:(fun _ -> 1)
+
+let solve ?config ?(seed = 1) g =
+  solve_with ?config (Rounds.create ()) (Rng.create ~seed) g
+
+let solve_weighted_with ?config ?tap_config ledger rng g =
+  Rounds.scoped ledger "ecss3w" @@ fun () ->
+  (* §5.4: start from a weighted 2-ECSS built on the MST; iterations then
+     cost O(h_MST) instead of O(D) *)
+  let start = Ecss2.solve_with ?tap_config ledger (Rng.split rng) g in
+  let tree = Segments.tree start.Ecss2.segments in
+  augment_core ?config ledger rng g ~tree ~h:start.Ecss2.solution
+    ~edge_weight:(fun e -> e.Graph.w)
+
+let solve_weighted ?config ?(seed = 1) g =
+  solve_weighted_with ?config (Rounds.create ()) (Rng.create ~seed) g

@@ -1,0 +1,29 @@
+(** Fault-tolerant MST (§1.2, Ghaffari–Parter [14]).
+
+    A subgraph containing an MST of G \ {e} for {e every} edge e: the MST
+    itself plus, for each tree edge t, its {e swap edge} — the cheapest
+    non-tree edge covering t (by the cycle property, MST(G − t) =
+    T − t + swap(t) under distinct lexicographic weights; for a non-tree
+    edge e, MST(G − e) = T). At most 2(n−1) edges.
+
+    The paper observes (§3.2) that its deterministic segment decomposition
+    combined with [14] yields a deterministic O(D + √n log* n)-round
+    FT-MST; here the swap edges are found with the same
+    short/mid/long-range dissemination pattern as a TAP iteration, charged
+    on the segment wave-forest and the BFS tree. *)
+
+open Kecss_graph
+open Kecss_congest
+
+type result = {
+  mask : Bitset.t;      (** MST ∪ swap edges *)
+  tree : Rooted_tree.t; (** the MST *)
+  swap : int array;
+      (** [swap.(x)] is the swap edge of the tree edge below vertex x
+          (-1 at the root, and for tree edges whose removal disconnects
+          G — bridges of G have no swap). *)
+  rounds : int;
+}
+
+val build_with : Rounds.t -> Rng.t -> Graph.t -> result
+val build : ?seed:int -> Graph.t -> result

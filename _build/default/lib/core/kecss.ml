@@ -1,0 +1,61 @@
+open Kecss_graph
+open Kecss_congest
+
+type level_info = {
+  level : int;
+  weight_added : int;
+  edges_added : int;
+  iterations : int;
+  repaired : int;
+}
+
+type result = {
+  solution : Bitset.t;
+  weight : int;
+  levels : level_info list;
+  rounds : int;
+}
+
+let solve_with ?augk_config ledger rng g ~k =
+  if k < 1 then invalid_arg "Kecss.solve: k must be >= 1";
+  let bfs = Prim.bfs_tree ledger g ~root:0 in
+  let bfs_forest = Forest.of_rooted_tree bfs in
+  (* level 1: the MST is the optimal connected spanning subgraph *)
+  let mst = Mst.run ledger (Rng.split rng) g in
+  let h = Bitset.copy mst.Mst.mask in
+  let levels =
+    ref
+      [
+        {
+          level = 1;
+          weight_added = Graph.mask_weight g h;
+          edges_added = Bitset.cardinal h;
+          iterations = 0;
+          repaired = 0;
+        };
+      ]
+  in
+  for i = 2 to k do
+    let r = Augk.augment ?config:augk_config ledger (Rng.split rng) ~bfs_forest g ~h ~k:i in
+    levels :=
+      {
+        level = i;
+        weight_added = Graph.mask_weight g r.Augk.augmentation;
+        edges_added = Bitset.cardinal r.Augk.augmentation;
+        iterations = r.Augk.iterations;
+        repaired = r.Augk.repaired;
+      }
+      :: !levels;
+    Bitset.union_into h r.Augk.augmentation
+  done;
+  {
+    solution = h;
+    weight = Graph.mask_weight g h;
+    levels = List.rev !levels;
+    rounds = Rounds.total ledger;
+  }
+
+let solve ?augk_config ?(seed = 1) g ~k =
+  let ledger = Rounds.create () in
+  let rng = Rng.create ~seed in
+  solve_with ?augk_config ledger rng g ~k

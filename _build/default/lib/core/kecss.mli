@@ -1,0 +1,32 @@
+(** Weighted k-ECSS (Theorem 1.2): connectivity is raised one level at a
+    time (Claim 2.1) — an MST for level 1, then Aug_i for i = 2..k —
+    giving an O(k log n) expected approximation in O(k(D log³ n + n))
+    rounds. *)
+
+open Kecss_graph
+
+type level_info = {
+  level : int;           (** the connectivity reached by this stage *)
+  weight_added : int;
+  edges_added : int;
+  iterations : int;      (** 0 for the MST stage *)
+  repaired : int;
+}
+
+type result = {
+  solution : Bitset.t;   (** spanning, k-edge-connected *)
+  weight : int;
+  levels : level_info list;
+  rounds : int;
+}
+
+val solve : ?augk_config:Augk.config -> ?seed:int -> Graph.t -> k:int -> result
+(** Solves weighted k-ECSS on a k-edge-connected graph, [k >= 1]. *)
+
+val solve_with :
+  ?augk_config:Augk.config ->
+  Kecss_congest.Rounds.t ->
+  Rng.t ->
+  Graph.t ->
+  k:int ->
+  result

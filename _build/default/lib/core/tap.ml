@@ -1,0 +1,269 @@
+open Kecss_graph
+open Kecss_congest
+
+type config = { vote_divisor : int; max_iterations : int }
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (2 * v) in
+  go 0 1
+
+let default_config n =
+  let l = max 1 (log2_ceil (n + 1)) in
+  { vote_divisor = 8; max_iterations = (64 * l * l) + 200 }
+
+type iteration_info = {
+  index : int;
+  level : Cost.level;
+  candidates : int;
+  added : int;
+  uncovered_left : int;
+}
+
+type result = {
+  augmentation : Bitset.t;
+  iterations : int;
+  trace : iteration_info list;
+  cost_sum : float;
+  forced : int;
+}
+
+(* Mutable per-run state shared by the iteration steps. *)
+type state = {
+  g : Graph.t;
+  tree : Rooted_tree.t;
+  root : int;
+  covered : bool array; (* tree edge below vertex x, indexed by x *)
+  jump : int array;     (* skip pointer over covered edges, towards root *)
+  mutable uncovered : int;
+  a : Bitset.t;
+  best : (int * int * int) array; (* per vertex: (rank, edge id, |Ce|) of its vote *)
+  mutable cost_sum : float;
+}
+
+let rec find st x =
+  if x = st.root || not st.covered.(x) then x
+  else begin
+    let r = find st st.jump.(x) in
+    st.jump.(x) <- r;
+    r
+  end
+
+(* visit every uncovered tree edge on the fundamental path of [e] *)
+let iter_uncovered_on_path st e visit =
+  let u, v = Graph.endpoints st.g e in
+  let l = Rooted_tree.lca st.tree u v in
+  let ld = Rooted_tree.depth st.tree l in
+  let rec walk x =
+    let x = find st x in
+    if Rooted_tree.depth st.tree x > ld then begin
+      visit x;
+      walk (Rooted_tree.parent st.tree x)
+    end
+  in
+  walk u;
+  walk v
+
+let cover_edge st x =
+  if not st.covered.(x) then begin
+    st.covered.(x) <- true;
+    st.jump.(x) <- Rooted_tree.parent st.tree x;
+    st.uncovered <- st.uncovered - 1
+  end
+
+(* |Ce| of every non-tree edge, via uncovered-prefix counts to the root *)
+let uncovered_counts st =
+  let n = Graph.n st.g in
+  let cnt = Array.make n 0 in
+  Array.iter
+    (fun v ->
+      if v <> st.root then
+        cnt.(v) <-
+          cnt.(Rooted_tree.parent st.tree v) + (if st.covered.(v) then 0 else 1))
+    (Rooted_tree.preorder st.tree);
+  fun e ->
+    let u, v = Graph.endpoints st.g e in
+    cnt.(u) + cnt.(v) - (2 * cnt.(Rooted_tree.lca st.tree u v))
+
+(* ----- the real communication pattern of one iteration (§3.1) ----- *)
+
+let charge_iteration ledger ~bfs_forest segments st =
+  let tree = st.tree in
+  let wf = Segments.wave_forest segments in
+  (* Claim 3.2 dissemination: per-segment root-path pipeline carrying
+     (tree edge, covered bit) *)
+  ignore
+    (Prim.down_pipeline ledger wf ~emit:(fun v ->
+         let pe = Rooted_tree.parent_edge tree v in
+         if pe < 0 then []
+         else [ [| pe; (if st.covered.(v) then 1 else 0) |] ]));
+  (* per-highway uncovered summaries, aggregated to the BFS root ... *)
+  let results =
+    Prim.up_pipeline_merge ledger bfs_forest
+      ~emit:(fun v ->
+        let pe = Rooted_tree.parent_edge tree v in
+        if pe >= 0 && Segments.on_highway segments pe then
+          [ (Segments.seg_of_tree_edge segments pe, [| (if st.covered.(v) then 0 else 1) |]) ]
+        else [])
+      ~combine:(fun a b -> [| a.(0) + b.(0) |])
+  in
+  (* ... and pipeline-broadcast, together with the iteration's maximum
+     rounded cost-effectiveness, to every vertex *)
+  let bfs_root = List.hd bfs_forest.Forest.roots in
+  let summary = results.(bfs_root) in
+  ignore
+    (Prim.broadcast_list ledger bfs_forest ~items:(fun _ ->
+         [| 0; 0 |] :: List.map (fun (k, p) -> [| k; p.(0) |]) summary));
+  (* one round in which the endpoints of every candidate edge exchange
+     their path knowledge summaries (cases 1–3 of the CE computation) *)
+  ignore
+    (Prim.exchange ledger st.g (fun v ->
+         Array.to_list (Graph.adj st.g v)
+         |> List.filter_map (fun (nb, id) ->
+                if (not (Rooted_tree.is_tree_edge tree id)) && v < nb then
+                  Some { Network.edge = id; payload = [| 0 |] }
+                else None)))
+
+let charge_global_max ledger ~bfs_forest level =
+  (* O(D): convergecast the maximum level, broadcast it back *)
+  ignore
+    (Prim.wave_up ledger bfs_forest ~value:(fun _ kids ->
+         [| List.fold_left (fun acc k -> max acc k.(0)) 0 kids |]));
+  ignore
+    (Prim.wave_down ledger bfs_forest
+       ~root_value:(fun _ -> [| (level : Cost.level :> int) land 0xff |])
+       ~derive:(fun _ ~parent_value -> parent_value))
+
+(* ----------------------------------------------------------------- *)
+
+let augment ?config ledger rng ~bfs_forest segments =
+  Rounds.scoped ledger "tap" @@ fun () ->
+  let tree = Segments.tree segments in
+  let g = Rooted_tree.graph tree in
+  let n = Graph.n g in
+  let config = match config with Some c -> c | None -> default_config n in
+  if config.vote_divisor < 1 then invalid_arg "Tap: vote_divisor must be >= 1";
+  let st =
+    {
+      g;
+      tree;
+      root = Rooted_tree.root tree;
+      covered = Array.make n false;
+      jump = Array.init n Fun.id;
+      uncovered = n - 1;
+      a = Graph.no_edges_mask g;
+      best = Array.make n (max_int, max_int, 0);
+      cost_sum = 0.0;
+    }
+  in
+  let non_tree =
+    Graph.fold_edges
+      (fun e acc ->
+        if Rooted_tree.is_tree_edge tree e.Graph.id then acc
+        else e.Graph.id :: acc)
+      g []
+    |> List.rev
+  in
+  (* §3: all weight-0 edges join A up front; their paths are covered *)
+  List.iter
+    (fun e ->
+      if Graph.weight g e = 0 then begin
+        Bitset.add st.a e;
+        iter_uncovered_on_path st e (cover_edge st)
+      end)
+    non_tree;
+  charge_iteration ledger ~bfs_forest segments st;
+  let trace = ref [] in
+  let iteration = ref 0 in
+  let forced = ref 0 in
+  let rank_bound = 1 lsl 60 in
+  while st.uncovered > 0 do
+    incr iteration;
+    if !iteration > config.max_iterations + n then
+      failwith "Tap.augment: graph is not 2-edge-connected (uncoverable edge)";
+    let ce = uncovered_counts st in
+    (* candidate selection at the maximum rounded cost-effectiveness *)
+    let levels =
+      List.filter_map
+        (fun e ->
+          if Bitset.mem st.a e then None
+          else
+            let l = Cost.level ~covered:(ce e) ~weight:(Graph.weight g e) in
+            if Cost.is_candidate_level l then Some (e, l) else None)
+        non_tree
+    in
+    if levels = [] then
+      failwith "Tap.augment: graph is not 2-edge-connected (uncoverable edge)";
+    let max_level = Cost.max_level (List.map snd levels) in
+    let candidates = List.filter (fun (_, l) -> l = max_level) levels in
+    charge_global_max ledger ~bfs_forest max_level;
+    let added = ref [] in
+    Array.fill st.best 0 n (max_int, max_int, 0);
+    if !iteration > config.max_iterations then begin
+      (* unconditional-termination fallback: a single greedy addition *)
+      incr forced;
+      let e, _ = List.hd candidates in
+      added := [ e ]
+    end
+    else begin
+      (* ranks, votes, threshold — §3 lines 3–5 *)
+      let ranked =
+        List.map (fun (e, _) -> (e, Rng.int rng rank_bound + 1, ce e)) candidates
+      in
+      List.iter
+        (fun (e, r, c) ->
+          iter_uncovered_on_path st e (fun x ->
+              let br, be, _ = st.best.(x) in
+              if (r, e) < (br, be) then st.best.(x) <- (r, e, c)))
+        ranked;
+      let votes = Hashtbl.create 64 in
+      Array.iteri
+        (fun x (_, e, _) ->
+          if x <> st.root && (not st.covered.(x)) && e <> max_int then
+            Hashtbl.replace votes e
+              (1 + Option.value ~default:0 (Hashtbl.find_opt votes e)))
+        st.best;
+      List.iter
+        (fun (e, _, c) ->
+          let v = Option.value ~default:0 (Hashtbl.find_opt votes e) in
+          if config.vote_divisor * v >= c then added := e :: !added)
+        ranked
+    end;
+    (* account the §3.3 costs: an uncovered edge whose chosen candidate was
+       added pays 1/ρ(e) = w(e)/|Ce|, everything else covered now pays 0 *)
+    let added_set = Hashtbl.create 8 in
+    List.iter (fun e -> Hashtbl.replace added_set e ()) !added;
+    Array.iteri
+      (fun x (_, be, bc) ->
+        if
+          x <> st.root
+          && (not st.covered.(x))
+          && be <> max_int
+          && Hashtbl.mem added_set be
+        then
+          st.cost_sum <-
+            st.cost_sum +. (float_of_int (Graph.weight g be) /. float_of_int bc))
+      st.best;
+    (* commit the additions *)
+    List.iter
+      (fun e ->
+        Bitset.add st.a e;
+        iter_uncovered_on_path st e (cover_edge st))
+      !added;
+    charge_iteration ledger ~bfs_forest segments st;
+    trace :=
+      {
+        index = !iteration;
+        level = max_level;
+        candidates = List.length candidates;
+        added = List.length !added;
+        uncovered_left = st.uncovered;
+      }
+      :: !trace
+  done;
+  {
+    augmentation = st.a;
+    iterations = !iteration;
+    trace = List.rev !trace;
+    cost_sum = st.cost_sum;
+    forced = !forced;
+  }

@@ -1,0 +1,1 @@
+lib/cycle_space/cut_pairs_exact.ml: Bitset Graph Kecss_graph List

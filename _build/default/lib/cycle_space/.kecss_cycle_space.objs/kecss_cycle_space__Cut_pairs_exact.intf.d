@@ -1,0 +1,1 @@
+lib/cycle_space/cut_pairs_exact.mli: Bitset Graph Kecss_graph

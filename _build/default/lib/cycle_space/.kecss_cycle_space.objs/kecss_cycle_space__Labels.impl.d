@@ -1,0 +1,1 @@
+lib/cycle_space/labels.ml: Array Bitset Forest Format Graph Hashtbl Int64 Kecss_congest Kecss_graph List Network Option Prim Rng Rooted_tree Rounds String

@@ -1,0 +1,1 @@
+lib/cycle_space/labels.mli: Bitset Format Kecss_congest Kecss_graph Rng Rooted_tree Rounds

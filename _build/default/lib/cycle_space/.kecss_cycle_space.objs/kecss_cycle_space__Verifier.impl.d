@@ -1,0 +1,1 @@
+lib/cycle_space/verifier.ml: Array Bitset Forest Graph Kecss_congest Kecss_graph Labels List Prim Rooted_tree Rounds

@@ -1,0 +1,1 @@
+lib/cycle_space/verifier.mli: Bitset Graph Kecss_congest Kecss_graph Rng Rounds

@@ -1,0 +1,30 @@
+open Kecss_graph
+
+let all g ~h_mask =
+  if not (Graph.is_connected ~mask:h_mask g) then
+    invalid_arg "Cut_pairs_exact.all: subgraph must be connected";
+  let ids = Bitset.elements h_mask in
+  let out = ref [] in
+  let probe = Bitset.copy h_mask in
+  let rec pairs = function
+    | [] -> ()
+    | e :: rest ->
+      List.iter
+        (fun f ->
+          Bitset.remove probe e;
+          Bitset.remove probe f;
+          if not (Graph.is_connected ~mask:probe g) then out := (e, f) :: !out;
+          Bitset.add probe e;
+          Bitset.add probe f)
+        rest;
+      pairs rest
+  in
+  pairs ids;
+  List.sort compare !out
+
+let covers g ~h_mask ~pair:(f, f') e =
+  let probe = Bitset.copy h_mask in
+  Bitset.remove probe f;
+  Bitset.remove probe f';
+  Bitset.add probe e;
+  Graph.is_connected ~mask:probe g

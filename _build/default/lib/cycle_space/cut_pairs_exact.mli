@@ -1,0 +1,15 @@
+(** Deterministic ground truth for cut pairs — the oracle the randomized
+    labels are validated against in tests and in the P5.1-labels
+    experiment. *)
+
+open Kecss_graph
+
+val all : Graph.t -> h_mask:Bitset.t -> (int * int) list
+(** All pairs (e, f), e < f, of edges of the (sub)graph whose joint removal
+    disconnects it, by direct removal. O(m²·(n+m)); use on small/medium
+    instances. The subgraph must be connected and spanning. *)
+
+val covers : Graph.t -> h_mask:Bitset.t -> pair:int * int -> int -> bool
+(** [covers g ~h_mask ~pair:(f, f') e]: per §5, does adding the outside
+    edge [e] destroy the cut pair, i.e. is [(h_mask \ {f, f'}) ∪ {e}]
+    connected? *)

@@ -1,0 +1,205 @@
+open Kecss_graph
+open Kecss_congest
+
+type t = {
+  tree : Rooted_tree.t;
+  h_mask : Bitset.t;
+  bits : int;
+  label : int array; (* by edge id; -1 outside h_mask *)
+}
+
+let default_bits = 60
+
+let random_label rng bits =
+  (* uniform in [0, 2^bits), built from 30-bit draws *)
+  let rec go acc remaining =
+    if remaining <= 0 then acc
+    else
+      let take = min 30 remaining in
+      go ((acc lsl take) lor Rng.int rng (1 lsl take)) (remaining - take)
+  in
+  go 0 bits
+
+let check_args tree ~h_mask bits =
+  if bits < 1 || bits > 62 then invalid_arg "Labels: bits must be in [1, 62]";
+  let te = Rooted_tree.edges_mask tree in
+  if not (Bitset.subset te h_mask) then
+    invalid_arg "Labels: h_mask must contain all tree edges"
+
+let non_tree_edges tree ~h_mask =
+  Bitset.fold
+    (fun id acc -> if Rooted_tree.is_tree_edge tree id then acc else id :: acc)
+    h_mask []
+  |> List.rev
+
+let finish tree ~h_mask ~bits label = { tree; h_mask; bits; label }
+
+let compute ?(bits = default_bits) rng tree ~h_mask =
+  check_args tree ~h_mask bits;
+  let g = Rooted_tree.graph tree in
+  let n = Graph.n g in
+  let label = Array.make (Graph.m g) (-1) in
+  let acc = Array.make n 0 in
+  List.iter
+    (fun id ->
+      let l = random_label rng bits in
+      label.(id) <- l;
+      let u, v = Graph.endpoints g id in
+      acc.(u) <- acc.(u) lxor l;
+      acc.(v) <- acc.(v) lxor l)
+    (non_tree_edges tree ~h_mask);
+  (* φ(tree edge below x) is the XOR of acc over subtree(x): a non-tree
+     edge with both endpoints inside cancels, one with exactly one endpoint
+     inside — i.e. a covering edge — survives. *)
+  let order = Rooted_tree.preorder tree in
+  for i = n - 1 downto 0 do
+    let x = order.(i) in
+    if x <> Rooted_tree.root tree then begin
+      label.(Rooted_tree.parent_edge tree x) <- acc.(x);
+      let p = Rooted_tree.parent tree x in
+      acc.(p) <- acc.(p) lxor acc.(x)
+    end
+  done;
+  finish tree ~h_mask ~bits label
+
+let compute_distributed ?(bits = default_bits) ledger rng tree ~h_mask =
+  Rounds.scoped ledger "labels" @@ fun () ->
+  check_args tree ~h_mask bits;
+  let g = Rooted_tree.graph tree in
+  let label = Array.make (Graph.m g) (-1) in
+  (* the smaller endpoint of every non-tree H edge draws the label and
+     sends it across the edge — one round *)
+  List.iter
+    (fun id -> label.(id) <- random_label rng bits)
+    (non_tree_edges tree ~h_mask);
+  let is_h id = Bitset.mem h_mask id in
+  let sends v =
+    Array.to_list (Graph.adj g v)
+    |> List.filter_map (fun (nb, id) ->
+           if is_h id && (not (Rooted_tree.is_tree_edge tree id)) && v < nb then
+             Some { Network.edge = id; payload = [| label.(id) |] }
+           else None)
+  in
+  ignore (Prim.exchange ledger g sends);
+  (* leaves-to-root wave: φ({v, p(v)}) = XOR of the labels of all H edges
+     at v other than the parent edge (Theorem 4.2 of Pritchard–Thurimella) *)
+  let forest = Forest.make g ~parent_edge:(Array.init (Graph.n g) (Rooted_tree.parent_edge tree)) in
+  let values =
+    Prim.wave_up ledger forest ~value:(fun v kids ->
+        let local =
+          Array.fold_left
+            (fun acc (_, id) ->
+              if is_h id && (not (Rooted_tree.is_tree_edge tree id)) then
+                acc lxor label.(id)
+              else acc)
+            0 (Graph.adj g v)
+        in
+        [| List.fold_left (fun acc k -> acc lxor k.(0)) local kids |])
+  in
+  for v = 0 to Graph.n g - 1 do
+    if v <> Rooted_tree.root tree then
+      label.(Rooted_tree.parent_edge tree v) <- values.(v).(0)
+  done;
+  finish tree ~h_mask ~bits label
+
+let bits t = t.bits
+let tree t = t.tree
+let h_mask t = t.h_mask
+
+let label t e =
+  if not (Bitset.mem t.h_mask e) then invalid_arg "Labels.label: edge not in H";
+  t.label.(e)
+
+let groups t =
+  let tbl = Hashtbl.create 64 in
+  Bitset.iter
+    (fun id ->
+      let l = t.label.(id) in
+      Hashtbl.replace tbl l (id :: Option.value ~default:[] (Hashtbl.find_opt tbl l)))
+    t.h_mask;
+  Hashtbl.fold (fun l ids acc -> (l, List.sort compare ids) :: acc) tbl []
+  |> List.sort compare
+
+let cut_pairs t =
+  groups t
+  |> List.concat_map (fun (_, ids) ->
+         let rec pairs = function
+           | [] -> []
+           | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+         in
+         pairs ids)
+  |> List.sort compare
+
+let edge_count_with_label t phi =
+  Bitset.fold (fun id acc -> if t.label.(id) = phi then acc + 1 else acc) t.h_mask 0
+
+let tree_edge_count_with_label t phi =
+  Bitset.fold
+    (fun id acc ->
+      if Rooted_tree.is_tree_edge t.tree id && t.label.(id) = phi then acc + 1
+      else acc)
+    t.h_mask 0
+
+let pairs_covered t e =
+  if Bitset.mem t.h_mask e then invalid_arg "Labels.pairs_covered: edge in H";
+  let totals = Hashtbl.create 64 in
+  Bitset.iter
+    (fun id ->
+      let l = t.label.(id) in
+      Hashtbl.replace totals l
+        (1 + Option.value ~default:0 (Hashtbl.find_opt totals l)))
+    t.h_mask;
+  let on_path = Hashtbl.create 8 in
+  List.iter
+    (fun te ->
+      let phi = t.label.(te) in
+      Hashtbl.replace on_path phi
+        (1 + Option.value ~default:0 (Hashtbl.find_opt on_path phi)))
+    (Rooted_tree.fundamental_path t.tree e);
+  Hashtbl.fold
+    (fun phi c acc ->
+      let total = Option.value ~default:c (Hashtbl.find_opt totals phi) in
+      acc + (c * (total - c)))
+    on_path 0
+
+let is_two_edge_connected t =
+  Bitset.fold
+    (fun id ok ->
+      ok && not (Rooted_tree.is_tree_edge t.tree id && t.label.(id) = 0))
+    t.h_mask true
+
+let is_three_edge_connected t =
+  let counts = Hashtbl.create 64 in
+  Bitset.iter
+    (fun id ->
+      let l = t.label.(id) in
+      Hashtbl.replace counts l
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+    t.h_mask;
+  Bitset.fold
+    (fun id ok ->
+      ok
+      && not
+           (Rooted_tree.is_tree_edge t.tree id
+           && Hashtbl.find counts t.label.(id) > 1))
+    t.h_mask true
+
+let pp ppf t =
+  let g = Rooted_tree.graph t.tree in
+  Format.fprintf ppf "@[<v>cycle-space labels (b=%d):@," t.bits;
+  Bitset.iter
+    (fun id ->
+      let u, v = Graph.endpoints g id in
+      Format.fprintf ppf "  %s e%-3d %d--%d  φ=%Lx@,"
+        (if Rooted_tree.is_tree_edge t.tree id then "T" else " ")
+        id u v
+        (Int64.of_int t.label.(id)))
+    t.h_mask;
+  let classes = List.filter (fun (_, ids) -> List.length ids > 1) (groups t) in
+  Format.fprintf ppf "  cut-pair classes: %d@," (List.length classes);
+  List.iter
+    (fun (l, ids) ->
+      Format.fprintf ppf "    φ=%Lx: {%s}@," (Int64.of_int l)
+        (String.concat ", " (List.map (fun i -> "e" ^ string_of_int i) ids)))
+    classes;
+  Format.fprintf ppf "@]"

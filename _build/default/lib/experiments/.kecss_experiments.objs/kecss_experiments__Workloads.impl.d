@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Float Gen Kecss_graph Rng Weights

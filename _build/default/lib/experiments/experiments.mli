@@ -1,0 +1,26 @@
+(** The experiment suite: one entry per table/figure of DESIGN.md §4.
+
+    Every experiment regenerates one of the paper's claims (a theorem's
+    round/approximation behaviour, a lemma's structural bound, or a
+    figure) as a printed table; EXPERIMENTS.md records the paper-vs-measured
+    comparison. Experiments are deterministic: fixed workload seeds, fixed
+    algorithm seeds. *)
+
+type output = { tables : Table.t list; text : string option }
+
+type exp = {
+  id : string;          (** e.g. "T1.1-rounds" *)
+  title : string;
+  paper_claim : string; (** the claim being reproduced, quoted/condensed *)
+  quick : bool;         (** cheap enough for the default bench run *)
+  run : unit -> output;
+}
+
+val all : exp list
+(** In DESIGN.md order. *)
+
+val find : string -> exp option
+
+val run_and_print : exp -> output
+(** Runs, prints the header, claim, tables and text to stdout, and returns
+    the output. *)

@@ -1,0 +1,19 @@
+(** Minimal fixed-width table rendering for experiment output. *)
+
+type cell = S of string | I of int | F of float (* 3 decimals *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> cell list -> unit
+(** Row length must match the column count. *)
+
+val note : t -> string -> unit
+(** Free-form footnote printed under the table. *)
+
+val render : t -> string
+val print : t -> unit
+
+val rows : t -> cell list list
+(** The accumulated rows (for assertions in tests). *)

@@ -1,0 +1,1 @@
+lib/graph/io.ml: Bitset Buffer Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/rooted_tree.ml: Array Bitset Graph List Stack

@@ -1,0 +1,94 @@
+type t = { words : Bytes.t; n : int }
+
+(* One bit per element, packed in bytes. Cardinality is recomputed on
+   demand; sets here are small-universe and short-lived. *)
+
+let create n = { words = Bytes.make ((n + 7) / 8) '\000'; n }
+let universe t = t.n
+let copy t = { words = Bytes.copy t.words; n = t.n }
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of universe"
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let cardinal t =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte c) t.words;
+  !acc
+
+let is_empty t =
+  let exception Found in
+  try
+    Bytes.iter (fun c -> if c <> '\000' then raise Found) t.words;
+    true
+  with Found -> false
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n l =
+  let t = create n in
+  List.iter (add t) l;
+  t
+
+let full n =
+  let t = create n in
+  for i = 0 to n - 1 do
+    add t i
+  done;
+  t
+
+let binop op dst src =
+  if dst.n <> src.n then invalid_arg "Bitset: universe mismatch";
+  for i = 0 to Bytes.length dst.words - 1 do
+    let a = Char.code (Bytes.get dst.words i)
+    and b = Char.code (Bytes.get src.words i) in
+    Bytes.set dst.words i (Char.chr (op a b land 0xff))
+  done
+
+let union_into dst src = binop ( lor ) dst src
+let inter_into dst src = binop ( land ) dst src
+let diff_into dst src = binop (fun a b -> a land lnot b) dst src
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words
+
+let subset a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe mismatch";
+  let ok = ref true in
+  for i = 0 to Bytes.length a.words - 1 do
+    let x = Char.code (Bytes.get a.words i)
+    and y = Char.code (Bytes.get b.words i) in
+    if x land lnot y <> 0 then ok := false
+  done;
+  !ok

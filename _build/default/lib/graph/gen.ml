@@ -1,0 +1,252 @@
+(* Edge-list accumulation with duplicate suppression.  All generators build
+   through [Builder] so that parallel edges never arise by accident. *)
+module Builder = struct
+  type t = {
+    n : int;
+    mutable acc : (int * int * int) list;
+    seen : (int * int, unit) Hashtbl.t;
+  }
+
+  let create n = { n; acc = []; seen = Hashtbl.create 64 }
+
+  let add ?(w = 1) b u v =
+    let key = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem b.seen key) then begin
+      Hashtbl.replace b.seen key ();
+      b.acc <- (u, v, w) :: b.acc
+    end
+
+  let mem b u v =
+    let key = if u < v then (u, v) else (v, u) in
+    Hashtbl.mem b.seen key
+
+  let graph b = Graph.make ~n:b.n (List.rev b.acc)
+end
+
+let path n =
+  let b = Builder.create n in
+  for i = 0 to n - 2 do
+    Builder.add b i (i + 1)
+  done;
+  Builder.graph b
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: n must be >= 3";
+  let b = Builder.create n in
+  for i = 0 to n - 1 do
+    Builder.add b i ((i + 1) mod n)
+  done;
+  Builder.graph b
+
+let complete n =
+  let b = Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Builder.add b u v
+    done
+  done;
+  Builder.graph b
+
+let circulant n offsets =
+  if n < 3 then invalid_arg "Gen.circulant: n must be >= 3";
+  let b = Builder.create n in
+  List.iter
+    (fun d ->
+      if d <= 0 || d >= n then invalid_arg "Gen.circulant: bad offset";
+      for i = 0 to n - 1 do
+        Builder.add b i ((i + d) mod n)
+      done)
+    offsets;
+  Builder.graph b
+
+let harary k n =
+  if k < 2 || n <= k then invalid_arg "Gen.harary: need n > k >= 2";
+  let r = k / 2 in
+  let b = Builder.create n in
+  for d = 1 to r do
+    for i = 0 to n - 1 do
+      Builder.add b i ((i + d) mod n)
+    done
+  done;
+  if k mod 2 = 1 then
+    if n mod 2 = 0 then
+      for i = 0 to (n / 2) - 1 do
+        Builder.add b i (i + (n / 2))
+      done
+    else
+      (* odd k, odd n: the classic construction joins i to i + (n-1)/2 for
+         i = 0 .. (n-1)/2, giving cardinality exactly ceil(kn/2). *)
+      for i = 0 to (n - 1) / 2 do
+        Builder.add b i ((i + ((n - 1) / 2)) mod n)
+      done;
+  Builder.graph b
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Gen.torus: dims must be >= 3";
+  let n = rows * cols in
+  let idx r c = (r * cols) + c in
+  let b = Builder.create n in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Builder.add b (idx r c) (idx ((r + 1) mod rows) c);
+      Builder.add b (idx r c) (idx r ((c + 1) mod cols))
+    done
+  done;
+  Builder.graph b
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Gen.grid: dims must be >= 1";
+  let idx r c = (r * cols) + c in
+  let b = Builder.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if r + 1 < rows then Builder.add b (idx r c) (idx (r + 1) c);
+      if c + 1 < cols then Builder.add b (idx r c) (idx r (c + 1))
+    done
+  done;
+  Builder.graph b
+
+let hypercube d =
+  if d < 1 then invalid_arg "Gen.hypercube: d must be >= 1";
+  let n = 1 lsl d in
+  let b = Builder.create n in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      Builder.add b v (v lxor (1 lsl bit))
+    done
+  done;
+  Builder.graph b
+
+let wheel n =
+  if n < 4 then invalid_arg "Gen.wheel: n must be >= 4";
+  let b = Builder.create n in
+  for i = 1 to n - 1 do
+    Builder.add b 0 i;
+    Builder.add b i (if i = n - 1 then 1 else i + 1)
+  done;
+  Builder.graph b
+
+let lollipop clique_size tail_len =
+  if clique_size < 2 then invalid_arg "Gen.lollipop: clique too small";
+  let n = clique_size + tail_len in
+  let b = Builder.create n in
+  for u = 0 to clique_size - 1 do
+    for v = u + 1 to clique_size - 1 do
+      Builder.add b u v
+    done
+  done;
+  for i = clique_size - 1 to n - 2 do
+    Builder.add b i (i + 1)
+  done;
+  Builder.graph b
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Gen.random_tree: n must be >= 1";
+  if n = 1 then Graph.make ~n:1 []
+  else if n = 2 then Graph.make ~n:2 [ (0, 1, 1) ]
+  else begin
+    (* Decode a uniform random Pruefer sequence: uniform labelled tree. *)
+    let pruefer = Array.init (n - 2) (fun _ -> Rng.int rng n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) pruefer;
+    let h = Heap.create () in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then Heap.push h ~prio:v v
+    done;
+    let b = Builder.create n in
+    Array.iter
+      (fun v ->
+        match Heap.pop h with
+        | None -> assert false
+        | Some (_, leaf) ->
+          Builder.add b leaf v;
+          deg.(v) <- deg.(v) - 1;
+          if deg.(v) = 1 then Heap.push h ~prio:v v)
+      pruefer;
+    (match Heap.pop h, Heap.pop h with
+    | Some (_, a), Some (_, b') -> Builder.add b a b'
+    | _ -> assert false);
+    Builder.graph b
+  end
+
+let caterpillar spine legs_per =
+  if spine < 1 || legs_per < 0 then invalid_arg "Gen.caterpillar";
+  let n = spine * (1 + legs_per) in
+  let b = Builder.create n in
+  for i = 0 to spine - 2 do
+    Builder.add b i (i + 1)
+  done;
+  let next = ref spine in
+  for i = 0 to spine - 1 do
+    for _ = 1 to legs_per do
+      Builder.add b i !next;
+      incr next
+    done
+  done;
+  Builder.graph b
+
+let star n =
+  if n < 2 then invalid_arg "Gen.star: n must be >= 2";
+  let b = Builder.create n in
+  for i = 1 to n - 1 do
+    Builder.add b 0 i
+  done;
+  Builder.graph b
+
+let random_connected rng n p =
+  let tree = random_tree rng n in
+  let b = Builder.create n in
+  Graph.iter_edges (fun e -> Builder.add b e.Graph.u e.Graph.v) tree;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if (not (Builder.mem b u v)) && Rng.bernoulli rng p then
+        Builder.add b u v
+    done
+  done;
+  Builder.graph b
+
+let random_k_connected rng n k ~extra =
+  if k < 1 || n <= k then invalid_arg "Gen.random_k_connected: need n > k";
+  let label = Rng.permutation rng n in
+  let b = Builder.create n in
+  let half = (k + 1) / 2 in
+  for d = 1 to half do
+    for i = 0 to n - 1 do
+      Builder.add b label.(i) label.((i + d) mod n)
+    done
+  done;
+  let added = ref 0 and attempts = ref 0 in
+  while !added < extra && !attempts < 50 * (extra + 1) do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && not (Builder.mem b u v) then begin
+      Builder.add b u v;
+      incr added
+    end
+  done;
+  Builder.graph b
+
+let random_geometric rng n r =
+  let pts = Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0)) in
+  let b = Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let xu, yu = pts.(u) and xv, yv = pts.(v) in
+      let dx = xu -. xv and dy = yu -. yv in
+      if (dx *. dx) +. (dy *. dy) <= r *. r then Builder.add b u v
+    done
+  done;
+  Builder.graph b
+
+let paper_figure2 () =
+  (* Reconstruction of the Figure 2 setting: a spanning path (tree edges)
+     plus non-tree edges whose fundamental cycles overlap, creating cut
+     pairs detectable through circulation labels. *)
+  let b = Builder.create 8 in
+  for i = 0 to 6 do
+    Builder.add b i (i + 1)
+  done;
+  List.iter
+    (fun (u, v) -> Builder.add b u v)
+    [ (0, 7); (1, 4); (3, 6); (2, 5); (0, 3) ];
+  Builder.graph b

@@ -1,0 +1,76 @@
+(** Graph generators for the experiment workloads.
+
+    All generators produce unit weights; combine with {!Weights} to obtain
+    the weighted variants.  Generators that take an {!Rng.t} are
+    deterministic given the stream.  Families are chosen to exercise the
+    regimes that the paper's round bounds contrast: small diameter
+    (hypercube, random), diameter ≈ √n (torus, lollipop), large diameter
+    (cycle, path-like circulants). *)
+
+val path : int -> Graph.t
+(** The path [0 - 1 - ... - n-1]. 1-edge-connected. *)
+
+val cycle : int -> Graph.t
+(** The cycle on [n >= 3] vertices. 2-edge-connected, diameter ⌊n/2⌋. *)
+
+val complete : int -> Graph.t
+(** K_n: (n-1)-edge-connected. *)
+
+val circulant : int -> int list -> Graph.t
+(** [circulant n offsets] connects [i] to [i ± d mod n] for each offset [d].
+    With offsets [1..j] it is 2j-edge-connected and has diameter ≈ n/(2j). *)
+
+val harary : int -> int -> Graph.t
+(** [harary k n] is the Harary graph H_{k,n}: a k-edge-connected graph with
+    ⌈kn/2⌉ edges, i.e. a minimum-size k-ECSS of itself. Requires
+    [n > k >= 2]. *)
+
+val torus : int -> int -> Graph.t
+(** [torus rows cols] is the 2-D torus grid: 4-edge-connected (for
+    dimensions ≥ 3), diameter ≈ (rows+cols)/2 ≈ √n. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols]: the planar grid, 2-edge-connected for both dims ≥ 2. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] on [2^d] vertices: d-edge-connected, diameter [d]. *)
+
+val wheel : int -> Graph.t
+(** Hub vertex 0 joined to a cycle on [n-1 >= 3] rim vertices;
+    3-edge-connected, diameter 2. *)
+
+val lollipop : int -> int -> Graph.t
+(** [lollipop clique_size tail_len]: K_c with a path of [tail_len] vertices
+    attached — the classic high-diameter / dense-core stress shape. Only
+    1-edge-connected (the tail); used for tree-decomposition workloads. *)
+
+val random_tree : Rng.t -> int -> Graph.t
+(** A uniform random labelled tree (random Prüfer-like attachment). *)
+
+val caterpillar : int -> int -> Graph.t
+(** [caterpillar spine legs_per]: a path of [spine] vertices each carrying
+    [legs_per] pendant leaves. Stresses segment decomposition. *)
+
+val star : int -> Graph.t
+(** Vertex 0 joined to all others. *)
+
+val random_connected : Rng.t -> int -> float -> Graph.t
+(** [random_connected rng n p] is an Erdős–Rényi G(n,p) conditioned on
+    connectivity: a uniform random spanning tree backbone plus independent
+    extra edges with probability [p]. *)
+
+val random_k_connected : Rng.t -> int -> int -> extra:int -> Graph.t
+(** [random_k_connected rng n k ~extra] is a random k-edge-connected graph:
+    a randomly relabelled circulant with offsets [1..⌈k/2⌉] plus [extra]
+    random chords (duplicates suppressed). The circulant backbone guarantees
+    k-edge-connectivity. *)
+
+val random_geometric : Rng.t -> int -> float -> Graph.t
+(** [random_geometric rng n r]: n points uniform in the unit square, edges
+    between pairs at distance ≤ r. Not guaranteed connected; used with a
+    radius large enough in the workloads, and checked by callers. *)
+
+val paper_figure2 : unit -> Graph.t
+(** The 8-vertex, 12-edge 2-edge-connected example of the paper's Figure 2
+    (left side): a BFS/spanning tree plus three non-tree edges creating two
+    cut pairs. Used by the F2-labels experiment. *)

@@ -1,0 +1,157 @@
+type edge = { id : int; u : int; v : int; w : int }
+
+type t = {
+  n : int;
+  edges : edge array;
+  adj : (int * int) array array;
+}
+
+let make ~n spec =
+  if n <= 0 then invalid_arg "Graph.make: n must be positive";
+  let edges =
+    List.mapi
+      (fun id (u, v, w) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Graph.make: endpoint out of range";
+        if u = v then invalid_arg "Graph.make: self-loop";
+        if w < 0 then invalid_arg "Graph.make: negative weight";
+        let u, v = if u < v then u, v else v, u in
+        { id; u; v; w })
+      spec
+    |> Array.of_list
+  in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      adj.(e.u).(fill.(e.u)) <- (e.v, e.id);
+      fill.(e.u) <- fill.(e.u) + 1;
+      adj.(e.v).(fill.(e.v)) <- (e.u, e.id);
+      fill.(e.v) <- fill.(e.v) + 1)
+    edges;
+  { n; edges; adj }
+
+let n g = g.n
+let m g = Array.length g.edges
+let edges g = g.edges
+let edge g id = g.edges.(id)
+
+let endpoints g id =
+  let e = g.edges.(id) in
+  (e.u, e.v)
+
+let weight g id = g.edges.(id).w
+
+let other_end g id x =
+  let e = g.edges.(id) in
+  if x = e.u then e.v
+  else if x = e.v then e.u
+  else invalid_arg "Graph.other_end: not an endpoint"
+
+let adj g v = g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+
+let find_edge g u v =
+  let rec scan i =
+    if i >= Array.length g.adj.(u) then None
+    else
+      let nb, id = g.adj.(u).(i) in
+      if nb = v then Some id else scan (i + 1)
+  in
+  scan 0
+
+let iter_edges f g = Array.iter f g.edges
+let fold_edges f g init = Array.fold_left (fun acc e -> f e acc) init g.edges
+let total_weight g = fold_edges (fun e acc -> acc + e.w) g 0
+let mask_weight g s = Bitset.fold (fun id acc -> acc + g.edges.(id).w) s 0
+let all_edges_mask g = Bitset.full (m g)
+let no_edges_mask g = Bitset.create (m g)
+
+let map_weights f g =
+  let edges = Array.map (fun e -> { e with w = f e }) g.edges in
+  { g with edges }
+
+let unit_weights g = map_weights (fun _ -> 1) g
+
+let edge_allowed mask id =
+  match mask with None -> true | Some s -> Bitset.mem s id
+
+let bfs_tree ?mask g src =
+  let dist = Array.make g.n (-1) and parent_edge = Array.make g.n (-1) in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (nb, id) ->
+        if edge_allowed mask id && dist.(nb) < 0 then begin
+          dist.(nb) <- dist.(v) + 1;
+          parent_edge.(nb) <- id;
+          Queue.add nb q
+        end)
+      g.adj.(v)
+  done;
+  (dist, parent_edge)
+
+let bfs ?mask g src = fst (bfs_tree ?mask g src)
+
+let components ?mask g =
+  let comp = Array.make g.n (-1) in
+  let next = ref 0 in
+  for v = 0 to g.n - 1 do
+    if comp.(v) < 0 then begin
+      let c = !next in
+      incr next;
+      comp.(v) <- c;
+      let q = Queue.create () in
+      Queue.add v q;
+      while not (Queue.is_empty q) do
+        let x = Queue.pop q in
+        Array.iter
+          (fun (nb, id) ->
+            if edge_allowed mask id && comp.(nb) < 0 then begin
+              comp.(nb) <- c;
+              Queue.add nb q
+            end)
+          g.adj.(x)
+      done
+    end
+  done;
+  comp
+
+let num_components ?mask g =
+  let comp = components ?mask g in
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 comp
+
+let is_connected ?mask g = num_components ?mask g = 1
+
+let eccentricity ?mask g v =
+  let dist = bfs ?mask g v in
+  Array.fold_left
+    (fun acc d ->
+      if d < 0 then invalid_arg "Graph.eccentricity: disconnected"
+      else max acc d)
+    0 dist
+
+let diameter ?mask g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    best := max !best (eccentricity ?mask g v)
+  done;
+  !best
+
+let max_weight g = fold_edges (fun e acc -> max acc e.w) g 0
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);
+  iter_edges
+    (fun e -> Format.fprintf ppf "  e%d: %d -- %d  (w=%d)@," e.id e.u e.v e.w)
+    g;
+  Format.fprintf ppf "@]"

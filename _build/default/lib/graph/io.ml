@@ -1,0 +1,72 @@
+let to_buffer buf g =
+  Buffer.add_string buf (Printf.sprintf "p kecss %d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges
+    (fun e -> Buffer.add_string buf (Printf.sprintf "e %d %d %d\n" e.Graph.u e.Graph.v e.Graph.w))
+    g
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  to_buffer buf g;
+  Buffer.contents buf
+
+let of_lines lines =
+  let header = ref None in
+  let edges = ref [] in
+  List.iteri
+    (fun lineno line ->
+      let fail msg = failwith (Printf.sprintf "Io.of_string: line %d: %s" (lineno + 1) msg) in
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "kecss"; n; m ] -> begin
+          match !header with
+          | Some _ -> fail "duplicate header"
+          | None -> (
+            match int_of_string_opt n, int_of_string_opt m with
+            | Some n, Some m -> header := Some (n, m)
+            | _ -> fail "bad header numbers")
+        end
+        | [ "e"; u; v; w ] -> begin
+          match int_of_string_opt u, int_of_string_opt v, int_of_string_opt w with
+          | Some u, Some v, Some w -> edges := (u, v, w) :: !edges
+          | _ -> fail "bad edge numbers"
+        end
+        | _ -> fail "unrecognized line")
+    lines;
+  match !header with
+  | None -> failwith "Io.of_string: missing header"
+  | Some (n, m) ->
+    let edges = List.rev !edges in
+    if List.length edges <> m then
+      failwith
+        (Printf.sprintf "Io.of_string: header declares %d edges, found %d" m
+           (List.length edges));
+    Graph.make ~n edges
+
+let of_string s = of_lines (String.split_on_char '\n' s)
+let to_channel oc g = output_string oc (to_string g)
+
+let of_channel ic =
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  of_lines (read [])
+
+let to_dot ?highlight g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph kecss {\n  node [shape=circle];\n";
+  Graph.iter_edges
+    (fun e ->
+      let hot =
+        match highlight with None -> false | Some s -> Bitset.mem s e.Graph.id
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d [label=\"%d\"%s];\n" e.Graph.u e.Graph.v
+           e.Graph.w
+           (if hot then ", penwidth=3, color=\"#b3589a\"" else "")))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

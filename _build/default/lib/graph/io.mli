@@ -1,0 +1,17 @@
+(** Plain-text serialization of graphs.
+
+    Format: a header line [p kecss <n> <m>] followed by [m] lines
+    [e <u> <v> <w>] (a DIMACS-inspired dialect).  Lines starting with [c]
+    are comments.  Edge order, and hence edge ids, round-trip exactly. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val to_channel : out_channel -> Graph.t -> unit
+val of_channel : in_channel -> Graph.t
+
+val to_dot : ?highlight:Bitset.t -> Graph.t -> string
+(** Graphviz rendering; edges in [highlight] are drawn bold/colored.
+    Used by the examples to visualise computed subgraphs. *)

@@ -1,0 +1,55 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x6b65_6373; seed lxor 0x517c_c1b7 |]
+
+let split t =
+  (* Drawing two words from [t] both advances it and seeds the child, so
+     children of successive splits are distinct. *)
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; a lxor (b lsl 7) |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.full_int t bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + Random.State.int t (hi - lo + 1)
+
+let int64 t = Random.State.int64 t Int64.max_int |> fun x ->
+  (* fill the top bit too so labels use all 64 bits *)
+  if Random.State.bool t then Int64.logor x Int64.min_int else x
+
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+let bernoulli t p = Random.State.float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(Random.State.int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  (* Floyd's algorithm: O(k) expected insertions. *)
+  let seen = Hashtbl.create (2 * k) in
+  let acc = ref [] in
+  for j = n - k to n - 1 do
+    let r = Random.State.int t (j + 1) in
+    let pick = if Hashtbl.mem seen r then j else r in
+    Hashtbl.replace seen pick ();
+    acc := pick :: !acc
+  done;
+  !acc
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a

@@ -1,0 +1,48 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    Every randomized component of the library threads an explicit [Rng.t]
+    instead of touching global state, so that a run is reproducible from a
+    single integer seed.  [split] derives an independent stream, which lets
+    concurrent simulated vertices draw random numbers without their relative
+    scheduling changing the outcome. *)
+
+type t
+(** A mutable pseudo-random stream. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh stream determined entirely by [seed]. *)
+
+val split : t -> t
+(** [split t] derives a new stream from [t], advancing [t]. Streams obtained
+    by distinct [split] calls behave independently. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val int64 : t -> int64
+(** [int64 t] is a uniform 64-bit value (all bits random). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place, uniformly (Fisher–Yates). *)
+
+val choose : t -> 'a array -> 'a
+(** [choose t a] picks a uniform element of the non-empty array [a]. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct values from
+    [\[0, n)], in no particular order. Requires [k <= n]. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform permutation of [0 .. n-1]. *)

@@ -1,0 +1,22 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [{0}, ..., {n-1}]. *)
+
+val find : t -> int -> int
+(** [find t x] is the canonical representative of [x]'s set. *)
+
+val union : t -> int -> int -> bool
+(** [union t x y] merges the sets of [x] and [y]. Returns [true] iff they
+    were previously distinct. *)
+
+val same : t -> int -> int -> bool
+(** [same t x y] tests whether [x] and [y] are in the same set. *)
+
+val count : t -> int
+(** [count t] is the current number of disjoint sets. *)
+
+val size : t -> int -> int
+(** [size t x] is the cardinality of [x]'s set. *)

@@ -1,0 +1,36 @@
+let unit g = Graph.unit_weights g
+
+let uniform rng ~lo ~hi g =
+  if lo < 0 || hi < lo then invalid_arg "Weights.uniform: bad range";
+  Graph.map_weights (fun _ -> Rng.int_in rng lo hi) g
+
+let spread rng ~ratio g =
+  if ratio < 1 then invalid_arg "Weights.spread: ratio must be >= 1";
+  let levels =
+    let rec count acc v = if v >= ratio then acc else count (acc + 1) (2 * v) in
+    count 0 1
+  in
+  Graph.map_weights
+    (fun _ ->
+      let level = Rng.int rng (levels + 1) in
+      let base = min ratio (1 lsl level) in
+      base + Rng.int rng (max 1 base))
+    g
+
+let euclidean rng ~scale g =
+  if scale < 1 then invalid_arg "Weights.euclidean: scale must be >= 1";
+  let pts =
+    Array.init (Graph.n g) (fun _ ->
+        (Rng.float rng (float_of_int scale), Rng.float rng (float_of_int scale)))
+  in
+  Graph.map_weights
+    (fun e ->
+      let xu, yu = pts.(e.Graph.u) and xv, yv = pts.(e.Graph.v) in
+      let dx = xu -. xv and dy = yu -. yv in
+      max 1 (int_of_float (Float.round (sqrt ((dx *. dx) +. (dy *. dy))))))
+    g
+
+let zero_some rng ~fraction g =
+  Graph.map_weights
+    (fun e -> if Rng.bernoulli rng fraction then 0 else e.Graph.w)
+    g

@@ -1,0 +1,26 @@
+(** Weight assignment policies for generated graphs.
+
+    The paper assumes integer weights polynomial in [n]; [spread] controls
+    the ratio w_max/w_min that drives the number of distinct rounded
+    cost-effectiveness values (Remark, §3.4). *)
+
+val unit : Graph.t -> Graph.t
+(** All weights 1. *)
+
+val uniform : Rng.t -> lo:int -> hi:int -> Graph.t -> Graph.t
+(** Independent uniform integer weights in [\[lo, hi\]]. *)
+
+val spread : Rng.t -> ratio:int -> Graph.t -> Graph.t
+(** Weights log-uniform over [\[1, ratio\]]: each weight is a uniformly
+    chosen power of two capped at [ratio], then jittered by a uniform factor
+    in [\[1,2)]. Guarantees w_max/w_min <= 2·ratio. *)
+
+val euclidean : Rng.t -> scale:int -> Graph.t -> Graph.t
+(** Weights from random planar embeddings: each vertex gets a uniform point
+    in a [scale × scale] square and each edge the rounded distance between
+    its endpoints (at least 1). Models cable-length cost in the backbone
+    example. *)
+
+val zero_some : Rng.t -> fraction:float -> Graph.t -> Graph.t
+(** Sets each weight to 0 independently with probability [fraction]
+    (the algorithms treat weight-0 edges specially: ρ = ∞). *)

@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Array Bitset Common Forest Gen Graph Hashtbl Kecss_congest Kecss_graph List Mst Network Option Prim QCheck Rng Rooted_tree Rounds Union_find Weights

@@ -1,0 +1,1 @@
+test/test_cover.ml: Alcotest Array Bitset Common Cover Fun Gen Graph Kecss_core Kecss_graph List Mds Printf QCheck Rng

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bitset Common Fun Gen Graph Hashtbl Heap Int Io Kecss_graph List Printf QCheck Rng Rooted_tree Seq Set String Union_find Weights

@@ -1,0 +1,1 @@
+test/test_segments.ml: Alcotest Array Common Forest Fun Gen Graph Kecss_congest Kecss_core Kecss_graph List Mst Prim QCheck Rng Rooted_tree Rounds Segments Weights

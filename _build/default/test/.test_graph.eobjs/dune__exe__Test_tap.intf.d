@@ -1,0 +1,1 @@
+test/test_tap.mli:

@@ -1,0 +1,83 @@
+(* Shared helpers for the test suites. *)
+open Kecss_graph
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* A pool of small-to-medium graphs with varied shape, used by many
+   suites.  Every entry is connected. *)
+let connected_pool () =
+  let rng = Rng.create ~seed:20180522 in
+  [
+    ("path9", Gen.path 9);
+    ("cycle12", Gen.cycle 12);
+    ("star10", Gen.star 10);
+    ("wheel9", Gen.wheel 9);
+    ("complete7", Gen.complete 7);
+    ("grid4x5", Gen.grid 4 5);
+    ("torus4x4", Gen.torus 4 4);
+    ("hyper4", Gen.hypercube 4);
+    ("circ20", Gen.circulant 20 [ 1; 3 ]);
+    ("harary3_11", Gen.harary 3 11);
+    ("lollipop6_5", Gen.lollipop 6 5);
+    ("caterpillar5_2", Gen.caterpillar 5 2);
+    ("tree17", Gen.random_tree rng 17);
+    ("rand25", Gen.random_connected rng 25 0.15);
+    ("rand40", Gen.random_connected rng 40 0.08);
+  ]
+
+(* 2-edge-connected weighted pool *)
+let two_ec_pool () =
+  let rng = Rng.create ~seed:7777 in
+  [
+    ("cycle12", Weights.uniform rng ~lo:1 ~hi:20 (Gen.cycle 12));
+    ("wheel10", Weights.uniform rng ~lo:1 ~hi:9 (Gen.wheel 10));
+    ("torus4x5", Weights.uniform rng ~lo:1 ~hi:50 (Gen.torus 4 5));
+    ("hyper4", Weights.uniform rng ~lo:1 ~hi:100 (Gen.hypercube 4));
+    ("circ24", Weights.uniform rng ~lo:1 ~hi:30 (Gen.circulant 24 [ 1; 2 ]));
+    ("complete8", Weights.uniform rng ~lo:1 ~hi:15 (Gen.complete 8));
+    ( "rand30",
+      Weights.uniform rng ~lo:1 ~hi:200
+        (Gen.random_k_connected rng 30 2 ~extra:25) );
+    ( "rand50",
+      Weights.uniform rng ~lo:1 ~hi:1000
+        (Gen.random_k_connected rng 50 2 ~extra:60) );
+    ("zeros20", Weights.zero_some rng ~fraction:0.2
+        (Weights.uniform rng ~lo:1 ~hi:40 (Gen.circulant 20 [ 1; 2 ])));
+  ]
+
+(* 3-edge-connected pool (unit weights) *)
+let three_ec_pool () =
+  let rng = Rng.create ~seed:31415 in
+  [
+    ("wheel12", Gen.wheel 12);
+    ("complete8", Gen.complete 8);
+    ("circ20", Gen.circulant 20 [ 1; 2 ]);
+    ("harary3_13", Gen.harary 3 13);
+    ("hyper4", Gen.hypercube 4);
+    ("torus4x4", Gen.torus 4 4);
+    ("rand30", Gen.random_k_connected rng 30 3 ~extra:40);
+  ]
+
+(* arbitrary connected random graph generator for qcheck *)
+let arb_connected ?(max_n = 24) () =
+  let open QCheck in
+  make
+    ~print:(fun (seed, n, p) -> Printf.sprintf "seed=%d n=%d p=%.2f" seed n p)
+    QCheck.Gen.(
+      triple (int_bound 1_000_000) (int_range 2 max_n)
+        (map (fun x -> float_of_int x /. 100.0) (int_bound 40)))
+
+let graph_of_params (seed, n, p) =
+  let rng = Rng.create ~seed in
+  Gen.random_connected rng n p
+
+(* weighted, 2-edge-connected qcheck instance *)
+let two_ec_of_params (seed, n, p) =
+  let rng = Rng.create ~seed in
+  let extra = max 2 (int_of_float (p *. float_of_int (n * 2))) in
+  Weights.uniform rng ~lo:1 ~hi:50 (Gen.random_k_connected rng (max 4 n) 2 ~extra)
+
+let check_is name b = Alcotest.(check bool) name true b
+let check_int name a b = Alcotest.(check int) name a b

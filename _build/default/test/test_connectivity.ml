@@ -1,0 +1,305 @@
+open Kecss_graph
+open Kecss_connectivity
+open Common
+
+(* brute-force bridge finder: remove each edge, test component count *)
+let brute_bridges ?mask g =
+  let base = match mask with None -> Graph.all_edges_mask g | Some s -> Bitset.copy s in
+  let base_components = Graph.num_components ~mask:base g in
+  Bitset.fold
+    (fun e acc ->
+      Bitset.remove base e;
+      let broken = Graph.num_components ~mask:base g > base_components in
+      Bitset.add base e;
+      if broken then e :: acc else acc)
+    base []
+  |> List.rev
+
+let dfs_tests =
+  [
+    case "path is all bridges" (fun () ->
+        let g = Gen.path 7 in
+        check_int "bridges" 6 (List.length (Dfs.bridges g)));
+    case "cycle has no bridges" (fun () ->
+        check_int "bridges" 0 (List.length (Dfs.bridges (Gen.cycle 7)));
+        check_is "2ec" (Dfs.is_two_edge_connected (Gen.cycle 7)));
+    case "parallel edges are not bridges" (fun () ->
+        let g = Graph.make ~n:3 [ (0, 1, 1); (0, 1, 1); (1, 2, 1) ] in
+        Alcotest.(check (list int)) "only 1-2" [ 2 ] (Dfs.bridges g));
+    case "lollipop tail bridges" (fun () ->
+        let g = Gen.lollipop 5 3 in
+        check_int "three tail bridges" 3 (List.length (Dfs.bridges g)));
+    case "two_edge_components of a barbell" (fun () ->
+        (* two triangles joined by one bridge *)
+        let g =
+          Graph.make ~n:6
+            [ (0, 1, 1); (1, 2, 1); (2, 0, 1); (3, 4, 1); (4, 5, 1); (5, 3, 1); (2, 3, 1) ]
+        in
+        let comp = Dfs.two_edge_components g in
+        check_is "triangle 1 together" (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+        check_is "triangle 2 together" (comp.(3) = comp.(4) && comp.(4) = comp.(5));
+        check_is "separated" (comp.(0) <> comp.(3)));
+    qcheck
+      (QCheck.Test.make ~name:"bridges agree with brute force" ~count:80
+         (arb_connected ~max_n:18 ()) (fun params ->
+           let g = graph_of_params params in
+           Dfs.bridges g = brute_bridges g));
+    qcheck
+      (QCheck.Test.make ~name:"masked bridges agree with brute force" ~count:50
+         (arb_connected ~max_n:14 ()) (fun params ->
+           let g = graph_of_params params in
+           let mask = Graph.all_edges_mask g in
+           Graph.iter_edges
+             (fun e ->
+               if e.Graph.id mod 3 = 0 && e.Graph.id > 0 then
+                 Bitset.remove mask e.Graph.id)
+             g;
+           Dfs.bridges ~mask g = brute_bridges ~mask g));
+  ]
+
+let maxflow_tests =
+  [
+    case "unit flow on cycle" (fun () ->
+        let net = Maxflow.of_graph (Gen.cycle 8) in
+        check_int "two disjoint paths" 2 (Maxflow.max_flow net ~s:0 ~t:4));
+    case "flow respects limit" (fun () ->
+        let net = Maxflow.of_graph (Gen.complete 6) in
+        check_int "limited" 3 (Maxflow.max_flow ~limit:3 net ~s:0 ~t:5);
+        check_int "full" 5 (Maxflow.max_flow net ~s:0 ~t:5));
+    case "weighted capacities" (fun () ->
+        let g = Graph.make ~n:3 [ (0, 1, 4); (1, 2, 2); (0, 2, 1) ] in
+        let net = Maxflow.of_graph ~cap:(fun e -> e.Graph.w) g in
+        check_int "bottleneck" 3 (Maxflow.max_flow net ~s:0 ~t:2));
+    case "min cut side after flow" (fun () ->
+        let g = Gen.lollipop 4 3 in
+        let net = Maxflow.of_graph g in
+        let f = Maxflow.max_flow net ~s:0 ~t:6 in
+        check_int "tail bottleneck" 1 f;
+        let side = Maxflow.min_cut_side net in
+        check_int "one crossing edge" 1 (List.length (Maxflow.cut_edges g side)));
+    case "network reusable across pairs" (fun () ->
+        let net = Maxflow.of_graph (Gen.hypercube 3) in
+        for t = 1 to 7 do
+          check_int "3-regular flow" 3 (Maxflow.max_flow net ~s:0 ~t)
+        done);
+  ]
+
+let ec_tests =
+  [
+    case "known connectivities" (fun () ->
+        check_int "cycle" 2 (Edge_connectivity.lambda (Gen.cycle 9));
+        check_int "path" 1 (Edge_connectivity.lambda (Gen.path 5));
+        check_int "K6" 5 (Edge_connectivity.lambda (Gen.complete 6));
+        check_int "hypercube4" 4 (Edge_connectivity.lambda (Gen.hypercube 4));
+        check_int "torus" 4 (Edge_connectivity.lambda (Gen.torus 4 4));
+        check_int "wheel" 3 (Edge_connectivity.lambda (Gen.wheel 10)));
+    case "harary is exactly k-connected" (fun () ->
+        List.iter
+          (fun (k, n) ->
+            check_int
+              (Printf.sprintf "H_%d,%d" k n)
+              k
+              (Edge_connectivity.lambda (Gen.harary k n)))
+          [ (2, 8); (3, 9); (3, 12); (4, 10); (5, 11) ]);
+    case "upper bound short-circuits" (fun () ->
+        check_int "capped" 2 (Edge_connectivity.lambda ~upper:2 (Gen.complete 8)));
+    case "is_k_edge_connected edge cases" (fun () ->
+        check_is "k=0" (Edge_connectivity.is_k_edge_connected (Gen.path 3) 0);
+        check_is "k=1 path" (Edge_connectivity.is_k_edge_connected (Gen.path 3) 1);
+        check_is "k=2 path fails"
+          (not (Edge_connectivity.is_k_edge_connected (Gen.path 3) 2)));
+    case "global_min_cut returns a real cut" (fun () ->
+        let g = Gen.lollipop 5 4 in
+        let lam, side, cut = Edge_connectivity.global_min_cut g in
+        check_int "lambda 1" 1 lam;
+        check_int "cut size" 1 (List.length cut);
+        check_is "side nontrivial"
+          (Bitset.cardinal side > 0 && Bitset.cardinal side < Graph.n g);
+        let mask = Graph.all_edges_mask g in
+        List.iter (Bitset.remove mask) cut;
+        check_is "disconnects" (not (Graph.is_connected ~mask g)));
+    qcheck
+      (QCheck.Test.make ~name:"lambda agrees with Stoer-Wagner on unit weights"
+         ~count:50 (arb_connected ~max_n:16 ()) (fun params ->
+           let g = graph_of_params params in
+           let sw, _ = Stoer_wagner.min_cut g in
+           Edge_connectivity.lambda g = sw));
+    qcheck
+      (QCheck.Test.make ~name:"pair connectivity is symmetric" ~count:30
+         (arb_connected ~max_n:12 ()) (fun params ->
+           let g = graph_of_params params in
+           let ok = ref true in
+           for u = 0 to Graph.n g - 1 do
+             for v = u + 1 to Graph.n g - 1 do
+               if Edge_connectivity.pair g u v <> Edge_connectivity.pair g v u
+               then ok := false
+             done
+           done;
+           !ok));
+  ]
+
+let sw_tests =
+  [
+    case "weighted min cut" (fun () ->
+        (* two triangles joined by two light edges *)
+        let g =
+          Graph.make ~n:6
+            [
+              (0, 1, 10); (1, 2, 10); (2, 0, 10);
+              (3, 4, 10); (4, 5, 10); (5, 3, 10);
+              (2, 3, 1); (0, 5, 2);
+            ]
+        in
+        let v, side = Stoer_wagner.min_cut ~cap:(fun e -> e.Graph.w) g in
+        check_int "value" 3 v;
+        check_is "side is a triangle"
+          (Bitset.cardinal side = 3 && Bitset.mem side 0));
+    case "disconnected subgraph yields zero" (fun () ->
+        let g = Gen.path 4 in
+        let mask = Graph.all_edges_mask g in
+        Bitset.remove mask 1;
+        let v, _ = Stoer_wagner.min_cut ~mask g in
+        check_int "zero" 0 v);
+  ]
+
+let enum_tests =
+  [
+    case "cycle min cuts are all pairs" (fun () ->
+        let g = Gen.cycle 6 in
+        let cuts = Min_cut_enum.enumerate_exhaustive g ~size:2 in
+        check_int "C(6,2)" 15 (List.length cuts));
+    case "bridge cuts of a path" (fun () ->
+        let g = Gen.path 5 in
+        let cuts = Min_cut_enum.enumerate_exhaustive g ~size:1 in
+        check_int "four bridges" 4 (List.length cuts));
+    case "covers matches side separation" (fun () ->
+        let g = Gen.cycle 5 in
+        let cuts = Min_cut_enum.enumerate_exhaustive g ~size:2 in
+        List.iter
+          (fun c ->
+            List.iter
+              (fun e ->
+                let u, v = Graph.endpoints g e in
+                check_is "side test"
+                  (Min_cut_enum.covers g c e
+                  = (Bitset.mem c.Min_cut_enum.side u
+                    <> Bitset.mem c.Min_cut_enum.side v)))
+              (List.init (Graph.m g) Fun.id))
+          cuts);
+    qcheck
+      (QCheck.Test.make ~name:"contraction enumeration finds all min cuts"
+         ~count:30 (arb_connected ~max_n:14 ()) (fun params ->
+           let g = graph_of_params params in
+           let lam = Edge_connectivity.lambda g in
+           if lam = 0 then true
+           else begin
+             let exact = Min_cut_enum.enumerate_exhaustive g ~size:lam in
+             let rng = Rng.create ~seed:123 in
+             let sampled = Min_cut_enum.enumerate ~rng g ~size:lam in
+             let key c = c.Min_cut_enum.edge_ids in
+             List.sort compare (List.map key exact)
+             = List.sort compare (List.map key sampled)
+           end));
+    qcheck
+      (QCheck.Test.make ~name:"every enumerated cut disconnects" ~count:30
+         (arb_connected ~max_n:14 ()) (fun params ->
+           let g = graph_of_params params in
+           let lam = Edge_connectivity.lambda g in
+           lam = 0
+           || List.for_all
+                (fun c ->
+                  let mask = Graph.all_edges_mask g in
+                  List.iter (Bitset.remove mask) c.Min_cut_enum.edge_ids;
+                  not (Graph.is_connected ~mask g))
+                (Min_cut_enum.enumerate_exhaustive g ~size:lam)));
+  ]
+
+let gomory_hu_tests =
+  [
+    case "known values on a wheel" (fun () ->
+        let g = Gen.wheel 8 in
+        let t = Gomory_hu.build g in
+        check_int "global = lambda" (Edge_connectivity.lambda g)
+          (Gomory_hu.global_min t);
+        (* hub vertex 0 has degree 7; rim vertices 3 *)
+        check_int "rim pair" 3 (Gomory_hu.min_cut_value t 1 4));
+    case "structure is a tree" (fun () ->
+        let g = Gen.complete 9 in
+        let t = Gomory_hu.build g in
+        check_int "root" (-1) (Gomory_hu.parent t 0);
+        for v = 1 to 8 do
+          let p = Gomory_hu.parent t v in
+          check_is "parent in range" (p >= 0 && p < 9 && p <> v)
+        done);
+    qcheck
+      (QCheck.Test.make ~name:"Gomory-Hu equals pairwise max-flow" ~count:30
+         (arb_connected ~max_n:12 ()) (fun params ->
+           let g = graph_of_params params in
+           let t = Gomory_hu.build g in
+           let ok = ref true in
+           for u = 0 to Graph.n g - 1 do
+             for v = u + 1 to Graph.n g - 1 do
+               if Gomory_hu.min_cut_value t u v <> Edge_connectivity.pair g u v
+               then ok := false
+             done
+           done;
+           !ok));
+    qcheck
+      (QCheck.Test.make ~name:"Gomory-Hu global min equals lambda" ~count:30
+         (arb_connected ~max_n:16 ()) (fun params ->
+           let g = graph_of_params params in
+           Gomory_hu.global_min (Gomory_hu.build g)
+           = Edge_connectivity.lambda g));
+    qcheck
+      (QCheck.Test.make ~name:"weighted Gomory-Hu equals weighted max-flow"
+         ~count:20 (arb_connected ~max_n:10 ()) (fun params ->
+           let g = graph_of_params params in
+           let g =
+             Graph.map_weights (fun e -> 1 + ((e.Graph.id * 7) mod 5)) g
+           in
+           let cap e = e.Graph.w in
+           let t = Gomory_hu.build ~cap g in
+           let ok = ref true in
+           for u = 0 to Graph.n g - 1 do
+             for v = u + 1 to Graph.n g - 1 do
+               let net = Maxflow.of_graph ~cap g in
+               if Gomory_hu.min_cut_value t u v <> Maxflow.max_flow net ~s:u ~t:v
+               then ok := false
+             done
+           done;
+           !ok));
+  ]
+
+let verify_tests =
+  [
+    case "accepts a valid 2-ECSS" (fun () ->
+        let g = Gen.cycle 8 in
+        let r = Verify.check_kecss g (Graph.all_edges_mask g) ~k:2 in
+        check_is "ok" r.Verify.ok;
+        check_int "weight" 8 r.Verify.weight);
+    case "rejects a spanning tree for k=2" (fun () ->
+        let g = Gen.cycle 8 in
+        let t = Rooted_tree.bfs_tree g ~root:0 in
+        let r = Verify.check_kecss g (Rooted_tree.edges_mask t) ~k:2 in
+        check_is "not ok" (not r.Verify.ok);
+        check_int "connectivity" 1 r.Verify.connectivity);
+    case "augmentation weight counts only aug edges" (fun () ->
+        let g = Graph.make ~n:3 [ (0, 1, 5); (1, 2, 7); (0, 2, 100) ] in
+        let h = Bitset.of_list 3 [ 0; 1 ] in
+        let aug = Bitset.of_list 3 [ 2 ] in
+        let r = Verify.check_augmentation g ~h ~aug ~k:2 in
+        check_is "ok" r.Verify.ok;
+        check_int "aug weight" 100 r.Verify.weight);
+  ]
+
+let () =
+  Alcotest.run "connectivity"
+    [
+      ("dfs", dfs_tests);
+      ("maxflow", maxflow_tests);
+      ("edge_connectivity", ec_tests);
+      ("stoer_wagner", sw_tests);
+      ("gomory_hu", gomory_hu_tests);
+      ("min_cut_enum", enum_tests);
+      ("verify", verify_tests);
+    ]

@@ -1,0 +1,161 @@
+open Kecss_graph
+open Kecss_core
+open Common
+
+(* a random set-cover instance *)
+let random_problem rng ~elements ~candidates ~max_w =
+  let covered_by = Array.make candidates [] in
+  (* guarantee feasibility: element e is covered by candidate e mod c *)
+  for e = 0 to elements - 1 do
+    let c = e mod candidates in
+    covered_by.(c) <- e :: covered_by.(c)
+  done;
+  for c = 0 to candidates - 1 do
+    for e = 0 to elements - 1 do
+      if Rng.bernoulli rng 0.25 && not (List.mem e covered_by.(c)) then
+        covered_by.(c) <- e :: covered_by.(c)
+    done
+  done;
+  let weights = Array.init candidates (fun _ -> 1 + Rng.int rng max_w) in
+  {
+    Cover.elements;
+    candidates;
+    weight = (fun c -> weights.(c));
+    covered_by = (fun c -> covered_by.(c));
+  }
+
+let strategies =
+  [
+    ("voting/8", Cover.Voting { divisor = 8 });
+    ("voting/2", Cover.Voting { divisor = 2 });
+    ("guessing/1", Cover.Guessing { m_phase = 1 });
+  ]
+
+let framework_tests =
+  [
+    case "covers on random instances, all strategies" (fun () ->
+        let rng = Rng.create ~seed:1 in
+        for trial = 1 to 8 do
+          let p =
+            random_problem rng ~elements:(10 + (trial * 7)) ~candidates:12
+              ~max_w:9
+          in
+          List.iter
+            (fun (name, s) ->
+              let r = Cover.solve (Rng.create ~seed:trial) p s in
+              check_is (name ^ " is a cover") (Cover.is_cover p r.Cover.chosen);
+              check_int (name ^ " weight consistent")
+                (Bitset.fold (fun c acc -> acc + p.Cover.weight c) r.Cover.chosen 0)
+                r.Cover.weight)
+            strategies
+        done);
+    case "voting invariant: weight <= divisor * cost_sum" (fun () ->
+        let rng = Rng.create ~seed:2 in
+        for trial = 1 to 8 do
+          let p = random_problem rng ~elements:40 ~candidates:15 ~max_w:20 in
+          List.iter
+            (fun divisor ->
+              let r =
+                Cover.solve (Rng.create ~seed:trial) p (Cover.Voting { divisor })
+              in
+              if r.Cover.forced = 0 then
+                check_is
+                  (Printf.sprintf "divisor %d invariant" divisor)
+                  (float_of_int r.Cover.weight
+                  <= (float_of_int divisor *. r.Cover.cost_sum) +. 1e-6))
+            [ 2; 4; 8 ]
+        done);
+    case "greedy is a cover and a decent yardstick" (fun () ->
+        let rng = Rng.create ~seed:3 in
+        let p = random_problem rng ~elements:60 ~candidates:20 ~max_w:5 in
+        let greedy = Cover.greedy p in
+        check_is "cover" (Cover.is_cover p greedy);
+        let r = Cover.solve (Rng.create ~seed:4) p (Cover.Voting { divisor = 8 }) in
+        let gw = Bitset.fold (fun c acc -> acc + p.Cover.weight c) greedy 0 in
+        (* randomized parallel should be within a small factor of greedy *)
+        check_is "close to greedy" (r.Cover.weight <= 4 * gw));
+    case "uncoverable element rejected" (fun () ->
+        let p =
+          {
+            Cover.elements = 2;
+            candidates = 1;
+            weight = (fun _ -> 1);
+            covered_by = (fun _ -> [ 0 ]);
+          }
+        in
+        (match Cover.solve (Rng.create ~seed:1) p (Cover.Voting { divisor = 8 }) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument"));
+    case "zero-weight candidates are free" (fun () ->
+        (* one zero-weight candidate covering everything must win *)
+        let p =
+          {
+            Cover.elements = 10;
+            candidates = 3;
+            weight = (fun c -> if c = 2 then 0 else 5);
+            covered_by =
+              (fun c ->
+                if c = 2 then List.init 10 Fun.id
+                else List.init 5 (fun i -> (5 * c) + i));
+          }
+        in
+        let r = Cover.solve (Rng.create ~seed:1) p (Cover.Voting { divisor = 8 }) in
+        check_int "free cover" 0 r.Cover.weight);
+    qcheck
+      (QCheck.Test.make ~name:"all strategies always cover" ~count:40
+         QCheck.(triple (int_bound 100_000) (int_range 1 50) (int_range 1 12))
+         (fun (seed, elements, candidates) ->
+           let rng = Rng.create ~seed in
+           let p = random_problem rng ~elements ~candidates ~max_w:7 in
+           List.for_all
+             (fun (_, s) ->
+               let r = Cover.solve (Rng.create ~seed) p s in
+               Cover.is_cover p r.Cover.chosen)
+             strategies));
+  ]
+
+let mds_tests =
+  [
+    case "dominating on the pool, both strategies" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            List.iter
+              (fun (sname, s) ->
+                let r = Mds.solve ~strategy:s ~seed:5 g in
+                check_is
+                  (Printf.sprintf "%s %s dominating" name sname)
+                  (Mds.is_dominating g r.Mds.set))
+              strategies)
+          (connected_pool ()));
+    case "known optima" (fun () ->
+        check_int "star" 1 (Bitset.cardinal (Mds.exact (Gen.star 9)));
+        check_int "K7" 1 (Bitset.cardinal (Mds.exact (Gen.complete 7)));
+        (* a path of 9 vertices needs ceil(9/3) = 3 dominators *)
+        check_int "path9" 3 (Bitset.cardinal (Mds.exact (Gen.path 9)));
+        check_int "cycle9" 3 (Bitset.cardinal (Mds.exact (Gen.cycle 9))));
+    case "framework vs exact on small graphs" (fun () ->
+        let rng = Rng.create ~seed:6 in
+        for _ = 1 to 5 do
+          let g = Gen.random_connected rng 14 0.2 in
+          let opt = Bitset.cardinal (Mds.exact g) in
+          let r = Mds.solve ~seed:7 g in
+          check_is "dominating" (Mds.is_dominating g r.Mds.set);
+          check_is "within H_n of optimum"
+            (float_of_int r.Mds.size
+            <= (float_of_int opt *. (1.0 +. log 14.0)) +. 1.0)
+        done);
+    case "greedy_size sane" (fun () ->
+        let g = Gen.grid 4 6 in
+        let gs = Mds.greedy_size g in
+        let opt = Bitset.cardinal (Mds.exact g) in
+        check_is "greedy between opt and n"
+          (gs >= opt && gs < Graph.n g));
+    qcheck
+      (QCheck.Test.make ~name:"MDS always dominates" ~count:40
+         (arb_connected ~max_n:30 ()) (fun params ->
+           let g = graph_of_params params in
+           Mds.is_dominating g (Mds.solve ~seed:3 g).Mds.set));
+  ]
+
+let () =
+  Alcotest.run "cover" [ ("framework", framework_tests); ("mds", mds_tests) ]

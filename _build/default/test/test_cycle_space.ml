@@ -1,0 +1,243 @@
+open Kecss_graph
+open Kecss_connectivity
+open Kecss_congest
+open Kecss_cycle_space
+open Common
+
+let build ?(bits = Labels.default_bits) ?(seed = 17) g =
+  let tree = Rooted_tree.bfs_tree g ~root:0 in
+  Labels.compute ~bits (Rng.create ~seed) tree ~h_mask:(Graph.all_edges_mask g)
+
+let labels_tests =
+  [
+    case "bridges are exactly the zero labels" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let l = build g in
+            let zero_tree_edges =
+              Graph.fold_edges
+                (fun e acc ->
+                  if
+                    Rooted_tree.is_tree_edge (Labels.tree l) e.Graph.id
+                    && Labels.label l e.Graph.id = 0
+                  then e.Graph.id :: acc
+                  else acc)
+                g []
+              |> List.sort compare
+            in
+            Alcotest.(check (list int))
+              (name ^ " bridges")
+              (Dfs.bridges g) zero_tree_edges)
+          (connected_pool ()));
+    case "is_two_edge_connected agrees with DFS" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            check_is name
+              (Labels.is_two_edge_connected (build g)
+              = Dfs.is_two_edge_connected g))
+          (connected_pool ()));
+    case "cut pairs on the figure-2 graph" (fun () ->
+        let g = Gen.paper_figure2 () in
+        let l = build g in
+        Alcotest.(check (list (pair int int)))
+          "matches exact oracle"
+          (Cut_pairs_exact.all g ~h_mask:(Graph.all_edges_mask g))
+          (Labels.cut_pairs l));
+    case "3EC families have distinct labels" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            if Edge_connectivity.is_k_edge_connected g 3 then
+              check_is name (Labels.is_three_edge_connected (build g)))
+          (three_ec_pool ()));
+    case "cycle: all edges share one label" (fun () ->
+        let g = Gen.cycle 7 in
+        let l = build g in
+        check_int "one class" 1 (List.length (Labels.groups l));
+        check_int "C(7,2) cut pairs" 21 (List.length (Labels.cut_pairs l)));
+    case "distributed computation yields the same classes" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            if Dfs.is_two_edge_connected g then begin
+              let tree = Rooted_tree.bfs_tree g ~root:0 in
+              let mask = Graph.all_edges_mask g in
+              let seq = Labels.compute (Rng.create ~seed:3) tree ~h_mask:mask in
+              let ledger = Rounds.create () in
+              let dist =
+                Labels.compute_distributed ledger (Rng.create ~seed:4) tree
+                  ~h_mask:mask
+              in
+              Alcotest.(check (list (pair int int)))
+                (name ^ " same cut pairs")
+                (Labels.cut_pairs seq) (Labels.cut_pairs dist);
+              check_is (name ^ " O(height) rounds")
+                (Rounds.total ledger <= (2 * Rooted_tree.height tree) + 3)
+            end)
+          (connected_pool ()));
+    case "n_phi counters" (fun () ->
+        let g = Gen.cycle 5 in
+        let l = build g in
+        let some_label = Labels.label l 0 in
+        check_int "all five edges" 5 (Labels.edge_count_with_label l some_label);
+        check_int "four tree edges" 4
+          (Labels.tree_edge_count_with_label l some_label));
+    case "pairs_covered rejects H edges" (fun () ->
+        let g = Gen.cycle 5 in
+        let l = build g in
+        (match Labels.pairs_covered l 0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument"));
+    case "small label width yields false positives, never negatives" (fun () ->
+        (* with b = 1, label collisions abound; every true cut pair must
+           still be reported (one-sided error, Cor. 5.3) *)
+        let g = Gen.random_k_connected (Rng.create ~seed:9) 14 2 ~extra:6 in
+        let truth = Cut_pairs_exact.all g ~h_mask:(Graph.all_edges_mask g) in
+        for seed = 0 to 20 do
+          let l = build ~bits:1 ~seed g in
+          let reported = Labels.cut_pairs l in
+          List.iter
+            (fun pair -> check_is "pair reported" (List.mem pair reported))
+            truth
+        done);
+  ]
+
+let oracle_tests =
+  [
+    qcheck
+      (QCheck.Test.make ~name:"labels find exactly the true cut pairs"
+         ~count:40 (arb_connected ~max_n:14 ()) (fun params ->
+           let g = graph_of_params params in
+           if not (Dfs.is_two_edge_connected g) then true
+           else
+             let truth = Cut_pairs_exact.all g ~h_mask:(Graph.all_edges_mask g) in
+             Labels.cut_pairs (build g) = truth));
+    qcheck
+      (QCheck.Test.make ~name:"pairs_covered equals the exact count (Claim 5.8)"
+         ~count:30
+         QCheck.(pair (int_bound 100_000) (int_range 8 16))
+         (fun (seed, n) ->
+           let rng = Rng.create ~seed in
+           let g = Gen.random_k_connected rng n 2 ~extra:n in
+           (* H = a 2EC subgraph: the whole graph minus nothing is easiest;
+              instead take H as a spanning 2EC sub-mask via DFS check *)
+           let tree = Rooted_tree.bfs_tree g ~root:0 in
+           (* drop a few non-tree edges out of H to create outside edges *)
+           let h_mask = Graph.all_edges_mask g in
+           let outside = ref [] in
+           Graph.iter_edges
+             (fun e ->
+               if
+                 (not (Rooted_tree.is_tree_edge tree e.Graph.id))
+                 && e.Graph.id mod 3 = 0
+                 && List.length !outside < 4
+               then begin
+                 Bitset.remove h_mask e.Graph.id;
+                 outside := e.Graph.id :: !outside
+               end)
+             g;
+           if not (Dfs.is_two_edge_connected ~mask:h_mask g) then true
+           else begin
+             let l = Labels.compute (Rng.create ~seed:5) tree ~h_mask in
+             let truth = Cut_pairs_exact.all g ~h_mask in
+             List.for_all
+               (fun e ->
+                 let exact =
+                   List.length
+                     (List.filter
+                        (fun pair -> Cut_pairs_exact.covers g ~h_mask ~pair e)
+                        truth)
+                 in
+                 Labels.pairs_covered l e = exact)
+               !outside
+           end));
+    qcheck
+      (QCheck.Test.make
+         ~name:"is_three_edge_connected agrees with exact connectivity"
+         ~count:40 (arb_connected ~max_n:12 ()) (fun params ->
+           let g = graph_of_params params in
+           if not (Dfs.is_two_edge_connected g) then true
+           else
+             Labels.is_three_edge_connected (build g)
+             = Edge_connectivity.is_k_edge_connected g 3));
+  ]
+
+let exact_tests =
+  [
+    case "exact oracle on a theta graph" (fun () ->
+        (* cycle 0-1-2-3-4-5 with chord 0-3: cut pairs are within arcs *)
+        let g =
+          Graph.make ~n:6
+            [ (0, 1, 1); (1, 2, 1); (2, 3, 1); (3, 4, 1); (4, 5, 1); (5, 0, 1); (0, 3, 1) ]
+        in
+        let pairs = Cut_pairs_exact.all g ~h_mask:(Graph.all_edges_mask g) in
+        (* arcs {0,1,2} and {3,4,5} each give C(3,2) = 3 pairs *)
+        check_int "pair count" 6 (List.length pairs));
+    case "covers oracle" (fun () ->
+        let g =
+          Graph.make ~n:4 [ (0, 1, 1); (1, 2, 1); (2, 3, 1); (3, 0, 1); (0, 2, 1) ]
+        in
+        let h_mask = Bitset.of_list 5 [ 0; 1; 2; 3 ] in
+        (* the 4-cycle: {e1,e2} = {1-2, 2-3} isolates vertex 2, and the
+           chord 0-2 reconnects it; {e0,e1} isolates vertex 1, which the
+           chord does not touch *)
+        check_is "chord covers {e1,e2}"
+          (Cut_pairs_exact.covers g ~h_mask ~pair:(1, 2) 4);
+        check_is "chord does not cover {e0,e1}"
+          (not (Cut_pairs_exact.covers g ~h_mask ~pair:(0, 1) 4)));
+  ]
+
+let verifier_tests =
+  [
+    case "2EC verdicts agree with DFS on the pool" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let ledger = Rounds.create () in
+            let v =
+              Verifier.two_edge_connected ledger (Rng.create ~seed:4) g
+            in
+            check_is name (v = Dfs.is_two_edge_connected g))
+          (connected_pool ()));
+    case "3EC verdicts agree with exact connectivity" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let ledger = Rounds.create () in
+            let v =
+              Verifier.three_edge_connected ledger (Rng.create ~seed:4) g
+            in
+            check_is name
+              (v = Edge_connectivity.is_k_edge_connected g 3))
+          (three_ec_pool () @ connected_pool ()));
+    case "verification is O(D) rounds" (fun () ->
+        let g = Gen.circulant 120 [ 1; 2 ] in
+        let d = Graph.diameter g in
+        let ledger = Rounds.create () in
+        ignore (Verifier.three_edge_connected ledger (Rng.create ~seed:4) g);
+        check_is "linear in D" (Rounds.total ledger <= 8 * (d + 2)));
+    case "false verdicts are exact (one-sided)" (fun () ->
+        (* even at 1-bit labels, a non-2EC graph must be rejected *)
+        let g = Gen.lollipop 5 3 in
+        for seed = 1 to 20 do
+          let ledger = Rounds.create () in
+          check_is "rejected"
+            (not (Verifier.two_edge_connected ~bits:1 ledger (Rng.create ~seed) g))
+        done);
+    case "subgraph verification via mask" (fun () ->
+        let g = Gen.wheel 10 in
+        let tree = Rooted_tree.bfs_tree g ~root:0 in
+        let ledger = Rounds.create () in
+        check_is "tree alone is not 2EC"
+          (not
+             (Verifier.two_edge_connected
+                ~mask:(Rooted_tree.edges_mask tree)
+                ledger (Rng.create ~seed:4) g));
+        check_is "whole wheel is 3EC"
+          (Verifier.three_edge_connected ledger (Rng.create ~seed:4) g));
+  ]
+
+let () =
+  Alcotest.run "cycle_space"
+    [
+      ("labels", labels_tests);
+      ("oracle", oracle_tests);
+      ("exact", exact_tests);
+      ("verifier", verifier_tests);
+    ]

@@ -1,0 +1,510 @@
+open Kecss_graph
+open Common
+
+(* ---------- Rng ---------- *)
+
+let rng_tests =
+  [
+    case "determinism" (fun () ->
+        let a = Rng.create ~seed:5 and b = Rng.create ~seed:5 in
+        for _ = 1 to 100 do
+          check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    case "split independence" (fun () ->
+        let a = Rng.create ~seed:5 in
+        let c1 = Rng.split a and c2 = Rng.split a in
+        let s1 = List.init 20 (fun _ -> Rng.int c1 1_000_000) in
+        let s2 = List.init 20 (fun _ -> Rng.int c2 1_000_000) in
+        check_is "children differ" (s1 <> s2));
+    case "int_in bounds" (fun () ->
+        let r = Rng.create ~seed:1 in
+        for _ = 1 to 1000 do
+          let x = Rng.int_in r 3 7 in
+          check_is "in range" (x >= 3 && x <= 7)
+        done);
+    case "permutation is a permutation" (fun () ->
+        let r = Rng.create ~seed:2 in
+        let p = Rng.permutation r 50 in
+        let sorted = Array.copy p in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "0..49" (Array.init 50 Fun.id) sorted);
+    case "sample without replacement" (fun () ->
+        let r = Rng.create ~seed:3 in
+        let s = Rng.sample_without_replacement r 10 30 in
+        check_int "size" 10 (List.length (List.sort_uniq compare s));
+        List.iter (fun x -> check_is "range" (x >= 0 && x < 30)) s);
+    case "bernoulli extremes" (fun () ->
+        let r = Rng.create ~seed:4 in
+        for _ = 1 to 50 do
+          check_is "p=1" (Rng.bernoulli r 1.0);
+          check_is "p=0" (not (Rng.bernoulli r 0.0))
+        done);
+  ]
+
+(* ---------- Union_find ---------- *)
+
+let union_find_tests =
+  [
+    case "basic unions" (fun () ->
+        let uf = Union_find.create 10 in
+        check_int "initial count" 10 (Union_find.count uf);
+        check_is "union works" (Union_find.union uf 0 1);
+        check_is "redundant union" (not (Union_find.union uf 1 0));
+        check_is "same" (Union_find.same uf 0 1);
+        check_is "not same" (not (Union_find.same uf 0 2));
+        check_int "count" 9 (Union_find.count uf);
+        check_int "size" 2 (Union_find.size uf 1));
+    case "transitive chains" (fun () ->
+        let uf = Union_find.create 100 in
+        for i = 0 to 98 do
+          ignore (Union_find.union uf i (i + 1))
+        done;
+        check_int "one set" 1 (Union_find.count uf);
+        check_is "ends joined" (Union_find.same uf 0 99);
+        check_int "size" 100 (Union_find.size uf 50));
+    qcheck
+      (QCheck.Test.make ~name:"union-find agrees with label propagation"
+         ~count:50
+         QCheck.(pair (int_bound 10_000) (int_range 2 30))
+         (fun (seed, n) ->
+           let rng = Rng.create ~seed in
+           let uf = Union_find.create n in
+           let labels = Array.init n Fun.id in
+           let relabel a b =
+             let la = labels.(a) and lb = labels.(b) in
+             if la <> lb then
+               Array.iteri (fun i l -> if l = lb then labels.(i) <- la) labels
+           in
+           for _ = 1 to 2 * n do
+             let a = Rng.int rng n and b = Rng.int rng n in
+             if a <> b then begin
+               ignore (Union_find.union uf a b);
+               relabel a b
+             end
+           done;
+           let ok = ref true in
+           for a = 0 to n - 1 do
+             for b = 0 to n - 1 do
+               if Union_find.same uf a b <> (labels.(a) = labels.(b)) then
+                 ok := false
+             done
+           done;
+           !ok));
+  ]
+
+(* ---------- Heap ---------- *)
+
+let heap_tests =
+  [
+    case "pop order" (fun () ->
+        let h = Heap.create () in
+        List.iter (fun p -> Heap.push h ~prio:p p) [ 5; 1; 4; 1; 3 ];
+        let order = ref [] in
+        let rec drain () =
+          match Heap.pop h with
+          | Some (p, _) ->
+            order := p :: !order;
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        Alcotest.(check (list int)) "sorted" [ 5; 4; 3; 1; 1 ] !order);
+    case "peek does not remove" (fun () ->
+        let h = Heap.create () in
+        Heap.push h ~prio:2 "b";
+        Heap.push h ~prio:1 "a";
+        check_is "peek min" (Heap.peek h = Some (1, "a"));
+        check_int "size" 2 (Heap.size h));
+    qcheck
+      (QCheck.Test.make ~name:"heap sorts like List.sort" ~count:100
+         QCheck.(list int)
+         (fun xs ->
+           let h = Heap.create () in
+           List.iter (fun x -> Heap.push h ~prio:x x) xs;
+           let rec drain acc =
+             match Heap.pop h with
+             | Some (p, _) -> drain (p :: acc)
+             | None -> List.rev acc
+           in
+           drain [] = List.sort compare xs));
+  ]
+
+(* ---------- Bitset ---------- *)
+
+let bitset_tests =
+  [
+    case "add remove mem" (fun () ->
+        let s = Bitset.create 100 in
+        check_is "empty" (Bitset.is_empty s);
+        Bitset.add s 7;
+        Bitset.add s 63;
+        Bitset.add s 64;
+        check_is "mem 7" (Bitset.mem s 7);
+        check_is "mem 64" (Bitset.mem s 64);
+        check_is "not mem 8" (not (Bitset.mem s 8));
+        check_int "card" 3 (Bitset.cardinal s);
+        Bitset.remove s 63;
+        check_int "card after remove" 2 (Bitset.cardinal s);
+        Alcotest.(check (list int)) "elements" [ 7; 64 ] (Bitset.elements s));
+    case "out of range raises" (fun () ->
+        let s = Bitset.create 10 in
+        Alcotest.check_raises "add" (Invalid_argument "Bitset: index out of universe")
+          (fun () -> Bitset.add s 10);
+        Alcotest.check_raises "mem" (Invalid_argument "Bitset: index out of universe")
+          (fun () -> ignore (Bitset.mem s (-1))));
+    qcheck
+      (QCheck.Test.make ~name:"set algebra agrees with stdlib sets" ~count:200
+         QCheck.(
+           triple (int_range 1 120)
+             (small_list (int_bound 200))
+             (small_list (int_bound 200)))
+         (fun (n, xs, ys) ->
+           let module IS = Set.Make (Int) in
+           let xs = List.filter (fun x -> x < n) xs
+           and ys = List.filter (fun y -> y < n) ys in
+           let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+           let sa = IS.of_list xs and sb = IS.of_list ys in
+           let check op sop =
+             let t = Bitset.copy a in
+             op t b;
+             Bitset.elements t = IS.elements (sop sa sb)
+           in
+           check Bitset.union_into IS.union
+           && check Bitset.inter_into IS.inter
+           && check Bitset.diff_into IS.diff
+           && Bitset.subset a b = IS.subset sa sb
+           && Bitset.equal a b = IS.equal sa sb
+           && Bitset.cardinal a = IS.cardinal sa));
+  ]
+
+(* ---------- Graph ---------- *)
+
+let graph_tests =
+  [
+    case "construction and adjacency" (fun () ->
+        let g = Graph.make ~n:4 [ (0, 1, 5); (1, 2, 3); (2, 0, 1); (2, 3, 9) ] in
+        check_int "n" 4 (Graph.n g);
+        check_int "m" 4 (Graph.m g);
+        check_int "degree 2" 3 (Graph.degree g 2);
+        check_int "weight" 3 (Graph.weight g 1);
+        check_int "total" 18 (Graph.total_weight g);
+        check_is "find_edge" (Graph.find_edge g 0 2 = Some 2);
+        check_is "no edge" (Graph.find_edge g 0 3 = None);
+        check_int "other_end" 3 (Graph.other_end g 3 2);
+        let u, v = Graph.endpoints g 0 in
+        check_int "endpoint order u" 0 u;
+        check_int "endpoint order v" 1 v);
+    case "rejects bad input" (fun () ->
+        Alcotest.check_raises "self loop" (Invalid_argument "Graph.make: self-loop")
+          (fun () -> ignore (Graph.make ~n:3 [ (1, 1, 0) ]));
+        Alcotest.check_raises "range"
+          (Invalid_argument "Graph.make: endpoint out of range") (fun () ->
+            ignore (Graph.make ~n:3 [ (0, 3, 1) ]));
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Graph.make: negative weight") (fun () ->
+            ignore (Graph.make ~n:3 [ (0, 1, -2) ])));
+    case "bfs distances on cycle" (fun () ->
+        let g = Gen.cycle 8 in
+        let d = Graph.bfs g 0 in
+        check_int "opposite" 4 d.(4);
+        check_int "adjacent" 1 d.(1);
+        check_int "diameter" 4 (Graph.diameter g));
+    case "components with mask" (fun () ->
+        let g = Gen.path 5 in
+        let mask = Graph.all_edges_mask g in
+        Bitset.remove mask 2;
+        check_int "two components" 2 (Graph.num_components ~mask g);
+        check_is "not connected" (not (Graph.is_connected ~mask g));
+        check_is "full graph connected" (Graph.is_connected g));
+    case "map_weights keeps structure" (fun () ->
+        let g = Gen.cycle 6 in
+        let g2 = Graph.map_weights (fun e -> e.Graph.id * 10) g in
+        check_int "n" (Graph.n g) (Graph.n g2);
+        check_int "weight of 3" 30 (Graph.weight g2 3);
+        check_int "unit total" 6 (Graph.total_weight (Graph.unit_weights g2)));
+    case "mask_weight" (fun () ->
+        let g = Graph.make ~n:3 [ (0, 1, 5); (1, 2, 7); (0, 2, 11) ] in
+        let s = Bitset.of_list 3 [ 0; 2 ] in
+        check_int "sum" 16 (Graph.mask_weight g s));
+    qcheck
+      (QCheck.Test.make ~name:"bfs tree spans connected graphs" ~count:60
+         (arb_connected ()) (fun params ->
+           let g = graph_of_params params in
+           let dist, pe = Graph.bfs_tree g 0 in
+           Array.for_all (fun d -> d >= 0) dist
+           && Array.length (Array.of_seq (Seq.filter (fun x -> x >= 0) (Array.to_seq pe)))
+              = Graph.n g - 1));
+  ]
+
+(* ---------- Generators ---------- *)
+
+let gen_tests =
+  [
+    case "family sizes" (fun () ->
+        check_int "path edges" 8 (Graph.m (Gen.path 9));
+        check_int "cycle edges" 9 (Graph.m (Gen.cycle 9));
+        check_int "complete edges" 21 (Graph.m (Gen.complete 7));
+        check_int "hypercube vertices" 16 (Graph.n (Gen.hypercube 4));
+        check_int "hypercube edges" 32 (Graph.m (Gen.hypercube 4));
+        check_int "torus edges" 32 (Graph.m (Gen.torus 4 4));
+        check_int "grid edges" 24 (Graph.m (Gen.grid 4 4));
+        check_int "wheel edges" 16 (Graph.m (Gen.wheel 9));
+        check_int "star edges" 9 (Graph.m (Gen.star 10)));
+    case "harary has ceil(kn/2) edges" (fun () ->
+        List.iter
+          (fun (k, n) ->
+            check_int
+              (Printf.sprintf "harary %d %d" k n)
+              (((k * n) + 1) / 2)
+              (Graph.m (Gen.harary k n)))
+          [ (2, 9); (3, 10); (3, 11); (4, 11); (5, 12); (5, 13) ]);
+    case "generated families are connected" (fun () ->
+        List.iter
+          (fun (name, g) -> check_is (name ^ " connected") (Graph.is_connected g))
+          (connected_pool ()));
+    case "random tree is a tree" (fun () ->
+        let rng = Rng.create ~seed:8 in
+        for n = 1 to 20 do
+          let t = Gen.random_tree rng n in
+          check_int "edge count" (n - 1) (Graph.m t);
+          check_is "connected" (Graph.is_connected t)
+        done);
+    case "lollipop shape" (fun () ->
+        let g = Gen.lollipop 5 4 in
+        check_int "n" 9 (Graph.n g);
+        check_int "m" (10 + 4) (Graph.m g);
+        check_int "diameter" 5 (Graph.diameter g));
+    case "figure 2 graph" (fun () ->
+        let g = Gen.paper_figure2 () in
+        check_int "n" 8 (Graph.n g);
+        check_int "m" 12 (Graph.m g);
+        check_is "connected" (Graph.is_connected g));
+    qcheck
+      (QCheck.Test.make ~name:"random_k_connected never duplicates edges"
+         ~count:40
+         QCheck.(triple (int_bound 100_000) (int_range 6 30) (int_range 2 4))
+         (fun (seed, n, k) ->
+           let rng = Rng.create ~seed in
+           let g = Gen.random_k_connected rng n k ~extra:10 in
+           let seen = Hashtbl.create 64 in
+           Graph.fold_edges
+             (fun e ok ->
+               let key = (e.Graph.u, e.Graph.v) in
+               let fresh = not (Hashtbl.mem seen key) in
+               Hashtbl.replace seen key ();
+               ok && fresh)
+             g true));
+  ]
+
+(* ---------- Weights ---------- *)
+
+let weight_tests =
+  [
+    case "uniform in range" (fun () ->
+        let rng = Rng.create ~seed:4 in
+        let g = Weights.uniform rng ~lo:5 ~hi:9 (Gen.complete 8) in
+        Graph.iter_edges
+          (fun e -> check_is "range" (e.Graph.w >= 5 && e.Graph.w <= 9))
+          g);
+    case "spread ratio bounded" (fun () ->
+        let rng = Rng.create ~seed:4 in
+        let g = Weights.spread rng ~ratio:64 (Gen.complete 10) in
+        let lo = Graph.fold_edges (fun e acc -> min acc e.Graph.w) g max_int in
+        let hi = Graph.max_weight g in
+        check_is "positive" (lo >= 1);
+        check_is "ratio" (hi <= 2 * 64 * lo));
+    case "euclidean positive" (fun () ->
+        let rng = Rng.create ~seed:4 in
+        let g = Weights.euclidean rng ~scale:100 (Gen.cycle 12) in
+        Graph.iter_edges (fun e -> check_is "positive" (e.Graph.w >= 1)) g);
+    case "zero_some zeroes a fraction" (fun () ->
+        let rng = Rng.create ~seed:4 in
+        let g =
+          Weights.zero_some rng ~fraction:1.0
+            (Weights.uniform rng ~lo:1 ~hi:5 (Gen.cycle 10))
+        in
+        check_int "all zero" 0 (Graph.total_weight g));
+  ]
+
+(* ---------- Io ---------- *)
+
+let io_tests =
+  [
+    case "roundtrip simple" (fun () ->
+        let g = Graph.make ~n:4 [ (0, 1, 5); (2, 3, 0); (1, 3, 12) ] in
+        let g2 = Io.of_string (Io.to_string g) in
+        check_int "n" (Graph.n g) (Graph.n g2);
+        check_int "m" (Graph.m g) (Graph.m g2);
+        Graph.iter_edges
+          (fun e ->
+            let u, v = Graph.endpoints g2 e.Graph.id in
+            check_int "u" e.Graph.u u;
+            check_int "v" e.Graph.v v;
+            check_int "w" e.Graph.w (Graph.weight g2 e.Graph.id))
+          g);
+    case "comments and blanks ignored" (fun () ->
+        let g = Io.of_string "c a comment\n\np kecss 2 1\nc another\ne 0 1 7\n" in
+        check_int "m" 1 (Graph.m g));
+    case "bad input rejected" (fun () ->
+        List.iter
+          (fun s ->
+            match Io.of_string s with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.fail "should have raised")
+          [
+            "e 0 1 2\n";
+            "p kecss 3 2\ne 0 1 2\n";
+            "p kecss x 1\ne 0 1 2\n";
+            "p kecss 3 1\nbogus\n";
+          ]);
+    case "dot output mentions highlights" (fun () ->
+        let g = Gen.cycle 4 in
+        let hl = Bitset.of_list (Graph.m g) [ 1 ] in
+        let dot = Io.to_dot ~highlight:hl g in
+        check_is "has penwidth" (String.length dot > 0
+                                 && String.length (String.concat "" [ dot ]) > 0
+                                 &&
+                                 let re = "penwidth" in
+                                 let rec contains i =
+                                   if i + String.length re > String.length dot then false
+                                   else if String.sub dot i (String.length re) = re then true
+                                   else contains (i + 1)
+                                 in
+                                 contains 0));
+    qcheck
+      (QCheck.Test.make ~name:"io roundtrip on random graphs" ~count:50
+         (arb_connected ()) (fun params ->
+           let g = graph_of_params params in
+           let g2 = Io.of_string (Io.to_string g) in
+           Io.to_string g = Io.to_string g2));
+  ]
+
+(* ---------- Rooted_tree ---------- *)
+
+let naive_lca tree u v =
+  let rec ancestors x acc =
+    if x < 0 then acc else ancestors (Rooted_tree.parent tree x) (x :: acc)
+  in
+  let au = ancestors u [] and av = ancestors v [] in
+  let rec common last = function
+    | x :: xs, y :: ys when x = y -> common x (xs, ys)
+    | _ -> last
+  in
+  common (List.hd au) (List.tl au, List.tl av)
+
+let tree_tests =
+  [
+    case "bfs tree of a path" (fun () ->
+        let g = Gen.path 6 in
+        let t = Rooted_tree.bfs_tree g ~root:0 in
+        check_int "depth of end" 5 (Rooted_tree.depth t 5);
+        check_int "height" 5 (Rooted_tree.height t);
+        check_int "parent" 3 (Rooted_tree.parent t 4);
+        check_int "lca" 2 (Rooted_tree.lca t 2 5);
+        check_is "ancestor" (Rooted_tree.is_ancestor t 1 4);
+        check_is "not ancestor" (not (Rooted_tree.is_ancestor t 4 1)));
+    case "fundamental path on cycle" (fun () ->
+        let g = Gen.cycle 6 in
+        let t = Rooted_tree.bfs_tree g ~root:0 in
+        (* the edge closing the cycle covers all tree edges *)
+        let closing =
+          Graph.fold_edges
+            (fun e acc ->
+              if Rooted_tree.is_tree_edge t e.Graph.id then acc else e.Graph.id :: acc)
+            g []
+        in
+        match closing with
+        | [ e ] ->
+          check_int "covers all" 5 (List.length (Rooted_tree.fundamental_path t e))
+        | _ -> Alcotest.fail "cycle should have one non-tree edge");
+    case "of_mask validates" (fun () ->
+        let g = Gen.cycle 4 in
+        Alcotest.check_raises "wrong count"
+          (Invalid_argument
+             "Rooted_tree.of_mask: wrong edge count for a spanning tree")
+          (fun () -> ignore (Rooted_tree.of_mask g ~root:0 (Graph.all_edges_mask g))));
+    qcheck
+      (QCheck.Test.make ~name:"lca agrees with the naive walk" ~count:60
+         (arb_connected ~max_n:20 ()) (fun params ->
+           let g = graph_of_params params in
+           let t = Rooted_tree.bfs_tree g ~root:0 in
+           let ok = ref true in
+           for u = 0 to Graph.n g - 1 do
+             for v = 0 to Graph.n g - 1 do
+               if Rooted_tree.lca t u v <> naive_lca t u v then ok := false
+             done
+           done;
+           !ok));
+    qcheck
+      (QCheck.Test.make ~name:"covers agrees with fundamental_path" ~count:40
+         (arb_connected ~max_n:16 ()) (fun params ->
+           let g = graph_of_params params in
+           let t = Rooted_tree.bfs_tree g ~root:0 in
+           Graph.fold_edges
+             (fun e ok ->
+               if Rooted_tree.is_tree_edge t e.Graph.id then ok
+               else
+                 let path = Rooted_tree.fundamental_path t e.Graph.id in
+                 ok
+                 && Graph.fold_edges
+                      (fun te ok2 ->
+                        if Rooted_tree.is_tree_edge t te.Graph.id then
+                          ok2
+                          && Rooted_tree.covers t e.Graph.id te.Graph.id
+                             = List.mem te.Graph.id path
+                        else ok2)
+                      g true)
+             g true));
+    qcheck
+      (QCheck.Test.make ~name:"cover_counts agrees with per-edge covers"
+         ~count:40 (arb_connected ~max_n:16 ()) (fun params ->
+           let g = graph_of_params params in
+           let t = Rooted_tree.bfs_tree g ~root:0 in
+           let non_tree =
+             Graph.fold_edges
+               (fun e acc ->
+                 if Rooted_tree.is_tree_edge t e.Graph.id then acc
+                 else e.Graph.id :: acc)
+               g []
+           in
+           let counts = Rooted_tree.cover_counts t non_tree in
+           let ok = ref true in
+           for x = 0 to Graph.n g - 1 do
+             if x <> Rooted_tree.root t then begin
+               let te = Rooted_tree.parent_edge t x in
+               let manual =
+                 List.length (List.filter (fun e -> Rooted_tree.covers t e te) non_tree)
+               in
+               if manual <> counts.(x) then ok := false
+             end
+           done;
+           !ok));
+    qcheck
+      (QCheck.Test.make ~name:"ancestor_at_depth inverts depth" ~count:40
+         (arb_connected ~max_n:20 ()) (fun params ->
+           let g = graph_of_params params in
+           let t = Rooted_tree.bfs_tree g ~root:0 in
+           let ok = ref true in
+           for v = 0 to Graph.n g - 1 do
+             for d = 0 to Rooted_tree.depth t v do
+               let a = Rooted_tree.ancestor_at_depth t v d in
+               if Rooted_tree.depth t a <> d || not (Rooted_tree.is_ancestor t a v)
+               then ok := false
+             done
+           done;
+           !ok));
+  ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ("rng", rng_tests);
+      ("union_find", union_find_tests);
+      ("heap", heap_tests);
+      ("bitset", bitset_tests);
+      ("graph", graph_tests);
+      ("generators", gen_tests);
+      ("weights", weight_tests);
+      ("io", io_tests);
+      ("rooted_tree", tree_tests);
+    ]

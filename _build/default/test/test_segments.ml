@@ -1,0 +1,197 @@
+open Kecss_graph
+open Kecss_congest
+open Kecss_core
+open Common
+
+let decompose ?(seed = 2018) g =
+  let ledger = Rounds.create () in
+  let rng = Rng.create ~seed in
+  let bfs = Prim.bfs_tree ledger g ~root:0 in
+  let bfs_forest = Forest.of_rooted_tree bfs in
+  let mst = Mst.run ledger rng g in
+  (Segments.build ledger ~bfs_forest mst, mst, ledger)
+
+let weighted_pool () =
+  let rng = Rng.create ~seed:555 in
+  List.map
+    (fun (name, g) -> (name, Weights.uniform rng ~lo:1 ~hi:100 g))
+    (connected_pool ())
+
+(* Lemma 3.4 (2): the marked set is closed under LCA *)
+let check_lca_closure segs =
+  let tree = Segments.tree segs in
+  let n = Graph.n (Rooted_tree.graph tree) in
+  let marked = List.filter (Segments.is_marked segs) (List.init n Fun.id) in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          let l = Rooted_tree.lca tree u v in
+          check_is "lca marked" (Segments.is_marked segs l))
+        marked)
+    marked
+
+(* every tree edge lies in exactly one segment, on the r..d path of its
+   segment iff it is a highway edge *)
+let check_edge_partition segs =
+  let tree = Segments.tree segs in
+  let g = Rooted_tree.graph tree in
+  let counted = Array.make (Graph.m g) 0 in
+  Segments.iter
+    (fun s ->
+      List.iter (fun e -> counted.(e) <- counted.(e) + 1) s.Segments.highway;
+      (* non-highway segment edges: edges between members, both unmarked-owned *)
+      ())
+    segs;
+  Graph.iter_edges
+    (fun e ->
+      if Rooted_tree.is_tree_edge tree e.Graph.id then begin
+        let s = Segments.seg_of_tree_edge segs e.Graph.id in
+        check_is "segment id valid" (s >= 0 && s < Segments.count segs);
+        if Segments.on_highway segs e.Graph.id then
+          check_int "highway edge counted once" 1 counted.(e.Graph.id)
+        else check_int "non-highway not on any highway" 0 counted.(e.Graph.id)
+      end)
+    g
+
+let check_segment_shape segs =
+  let tree = Segments.tree segs in
+  Segments.iter
+    (fun s ->
+      (* r is an ancestor of every member *)
+      List.iter
+        (fun v -> check_is "r ancestor" (Rooted_tree.is_ancestor tree s.Segments.r v))
+        s.Segments.members;
+      (* the highway is the tree path r..d *)
+      let path = Rooted_tree.path_between tree s.Segments.r s.Segments.d in
+      Alcotest.(check (list int))
+        "highway is the r-d path" (List.sort compare path)
+        (List.sort compare s.Segments.highway);
+      (* d and r are marked; internal members of the highway are not *)
+      check_is "r marked" (Segments.is_marked segs s.Segments.r);
+      check_is "d marked" (Segments.is_marked segs s.Segments.d);
+      (* non-root/desc members are connected only within the segment:
+         their tree neighbors are members too *)
+      List.iter
+        (fun v ->
+          if
+            v <> s.Segments.r && v <> s.Segments.d
+            && not (Segments.is_marked segs v)
+          then begin
+            let p = Rooted_tree.parent tree v in
+            check_is "parent in segment" (List.mem p s.Segments.members)
+          end)
+        s.Segments.members)
+    segs
+
+let structure_tests =
+  [
+    case "properties across the weighted pool" (fun () ->
+        List.iter
+          (fun (_, g) ->
+            let segs, _, _ = decompose g in
+            check_lca_closure segs;
+            check_edge_partition segs;
+            check_segment_shape segs)
+          (weighted_pool ()));
+    case "root is marked" (fun () ->
+        let segs, _, _ = decompose (Gen.cycle 20) in
+        check_is "root" (Segments.is_marked segs 0));
+    case "skeleton parents are marked ancestors" (fun () ->
+        let g = Weights.uniform (Rng.create ~seed:1) ~lo:1 ~hi:50
+            (Gen.random_k_connected (Rng.create ~seed:2) 60 2 ~extra:70) in
+        let segs, _, _ = decompose g in
+        let tree = Segments.tree segs in
+        for v = 0 to Graph.n g - 1 do
+          if Segments.is_marked segs v && v <> 0 then begin
+            let p = Segments.skeleton_parent segs v in
+            check_is "marked" (Segments.is_marked segs p);
+            check_is "proper ancestor"
+              (p <> v && Rooted_tree.is_ancestor tree p v);
+            let s = Segments.seg_of_tree_edge segs (Rooted_tree.parent_edge tree v) in
+            check_int "edge above d belongs to its segment"
+              (Segments.segment_of_d segs v) s
+          end
+        done);
+    case "Lemma 3.4 scaling: O(sqrt n) segments of O(sqrt n) diameter" (fun () ->
+        let rng = Rng.create ~seed:4 in
+        List.iter
+          (fun n ->
+            let g =
+              Weights.uniform rng ~lo:1 ~hi:1000
+                (Gen.random_k_connected rng n 2 ~extra:(2 * n))
+            in
+            let segs, mst, _ = decompose g in
+            let sqrt_n = int_of_float (ceil (sqrt (float_of_int n))) in
+            (* the constants are generous; the shape is what matters *)
+            check_is "marked count"
+              (Segments.marked_count segs <= 6 * mst.Mst.fragment_count + 2);
+            check_is "segment count" (Segments.count segs <= 12 * sqrt_n);
+            check_is "segment height"
+              (Segments.max_segment_height segs <= 6 * sqrt_n))
+          [ 49; 100; 196 ]);
+    case "wave forest is severed exactly at marked vertices" (fun () ->
+        let g = Weights.uniform (Rng.create ~seed:5) ~lo:1 ~hi:10 (Gen.torus 5 5) in
+        let segs, _, _ = decompose g in
+        let wf = Segments.wave_forest segs in
+        let tree = Segments.tree segs in
+        for v = 0 to Graph.n g - 1 do
+          if Segments.is_marked segs v then
+            check_int "marked is root" (-1) wf.Forest.parent.(v)
+          else
+            check_int "unmarked keeps tree parent"
+              (Rooted_tree.parent_edge tree v)
+              wf.Forest.parent_edge.(v)
+        done);
+    case "membership queries" (fun () ->
+        let g = Weights.uniform (Rng.create ~seed:6) ~lo:1 ~hi:10 (Gen.grid 5 6) in
+        let segs, _, _ = decompose g in
+        Segments.iter
+          (fun s ->
+            List.iter
+              (fun v ->
+                check_is "segments_at contains"
+                  (List.mem s.Segments.index (Segments.segments_at segs v));
+                check_is "in_same_segment with r"
+                  (Segments.in_same_segment segs v s.Segments.r))
+              s.Segments.members)
+          segs;
+        for v = 0 to Graph.n g - 1 do
+          if not (Segments.is_marked segs v) then
+            Alcotest.(check (list int))
+              "unmarked in exactly one segment"
+              [ Segments.seg_of_vertex segs v ]
+              (Segments.segments_at segs v)
+        done);
+    case "path graph has a clean decomposition" (fun () ->
+        (* tree = the path itself (it is its own MST); every segment's
+           member set is a contiguous subpath *)
+        let segs, _, _ = decompose (Gen.path 40) in
+        check_edge_partition segs;
+        let tree = Segments.tree segs in
+        Segments.iter
+          (fun s ->
+            let depths = List.map (Rooted_tree.depth tree) s.Segments.members in
+            let lo = List.fold_left min max_int depths
+            and hi = List.fold_left max 0 depths in
+            check_int "contiguous subpath"
+              (hi - lo + 1)
+              (List.length s.Segments.members))
+          segs);
+    qcheck
+      (QCheck.Test.make ~name:"decomposition invariants on random graphs"
+         ~count:25
+         QCheck.(pair (int_bound 100_000) (int_range 4 40))
+         (fun (seed, n) ->
+           let rng = Rng.create ~seed in
+           let g =
+             Weights.uniform rng ~lo:1 ~hi:30 (Gen.random_connected rng n 0.1)
+           in
+           let segs, _, _ = decompose g in
+           check_lca_closure segs;
+           check_edge_partition segs;
+           check_segment_shape segs;
+           true));
+  ]
+
+let () = Alcotest.run "segments" [ ("decomposition", structure_tests) ]

@@ -1,0 +1,217 @@
+open Kecss_graph
+open Kecss_connectivity
+open Kecss_congest
+open Kecss_core
+open Common
+
+let run_tap ?config ?(seed = 7) g =
+  let ledger = Rounds.create () in
+  let rng = Rng.create ~seed in
+  let bfs = Prim.bfs_tree ledger g ~root:0 in
+  let bfs_forest = Forest.of_rooted_tree bfs in
+  let mst = Mst.run ledger (Rng.split rng) g in
+  let segs = Segments.build ledger ~bfs_forest mst in
+  let tap = Tap.augment ?config ledger (Rng.split rng) ~bfs_forest segs in
+  (tap, mst, segs, ledger)
+
+let cost_tests =
+  [
+    case "level examples" (fun () ->
+        (* smallest power of two strictly above covered/weight *)
+        check_int "4/1 -> 2^3" 3 (Cost.level ~covered:4 ~weight:1);
+        check_int "1/1 -> 2^1" 1 (Cost.level ~covered:1 ~weight:1);
+        check_int "3/5 -> 2^0" 0 (Cost.level ~covered:3 ~weight:5);
+        check_int "1/10 -> 2^-3" (-3) (Cost.level ~covered:1 ~weight:10);
+        check_int "7/2 -> 2^2" 2 (Cost.level ~covered:7 ~weight:2);
+        check_is "zero weight infinite"
+          (Cost.level ~covered:3 ~weight:0 = Cost.infinite);
+        check_is "covers nothing"
+          (Cost.level ~covered:0 ~weight:5 = Cost.useless);
+        check_is "useless not candidate"
+          (not (Cost.is_candidate_level Cost.useless));
+        check_is "infinite is candidate" (Cost.is_candidate_level Cost.infinite));
+    qcheck
+      (QCheck.Test.make ~name:"rounded level brackets the true ratio" ~count:200
+         QCheck.(pair (int_range 1 1000) (int_range 1 1000))
+         (fun (covered, weight) ->
+           let z = Cost.level ~covered ~weight in
+           let rho = float_of_int covered /. float_of_int weight in
+           let upper = Float.pow 2.0 (float_of_int z) in
+           (* 2^z > rho >= 2^(z-1) *)
+           upper > rho && rho >= upper /. 2.0));
+    case "max_level" (fun () ->
+        check_is "empty" (Cost.max_level [] = Cost.useless);
+        check_int "picks max" 5 (Cost.max_level [ 2; 5; -3 ]));
+  ]
+
+let tap_tests =
+  [
+    case "produces a 2EC subgraph on the pool" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let tap, mst, _, _ = run_tap g in
+            let sol = Bitset.copy mst.Mst.mask in
+            Bitset.union_into sol tap.Tap.augmentation;
+            check_is (name ^ " 2EC") (Dfs.is_two_edge_connected ~mask:sol g);
+            check_int (name ^ " no forced") 0 tap.Tap.forced)
+          (two_ec_pool ()));
+    case "Lemma 3.5 charging invariant: w(A) <= 8 sum cost" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let tap, _, _, _ = run_tap g in
+            if tap.Tap.forced = 0 then begin
+              let wa =
+                float_of_int (Graph.mask_weight g tap.Tap.augmentation)
+              in
+              check_is
+                (name ^ " invariant")
+                (wa <= (8.0 *. tap.Tap.cost_sum) +. 1e-6)
+            end)
+          (two_ec_pool ()));
+    case "augmentation contains only non-tree edges" (fun () ->
+        let g = List.assoc "rand30" (two_ec_pool ()) in
+        let tap, mst, _, _ = run_tap g in
+        Bitset.iter
+          (fun e -> check_is "not a tree edge" (not (Bitset.mem mst.Mst.mask e)))
+          tap.Tap.augmentation);
+    case "zero-weight edges are taken eagerly" (fun () ->
+        (* the MST is the zero-weight path (smallest ids win ties); the
+           zero-weight chord 0-4 is then a free full cover *)
+        let g =
+          Graph.make ~n:5
+            [
+              (0, 1, 0); (1, 2, 0); (2, 3, 0); (3, 4, 0);  (* the MST path *)
+              (0, 4, 0);                                   (* free cover *)
+              (0, 2, 5); (2, 4, 5);
+            ]
+        in
+        let tap, mst, _, _ = run_tap g in
+        check_is "path is the MST" (not (Bitset.mem mst.Mst.mask 4));
+        check_is "free edge in A" (Bitset.mem tap.Tap.augmentation 4);
+        check_int "augmentation costs nothing" 0
+          (Graph.mask_weight g tap.Tap.augmentation));
+    case "iteration count stays polylog across sizes" (fun () ->
+        let rng = Rng.create ~seed:9 in
+        List.iter
+          (fun n ->
+            let g =
+              Weights.uniform rng ~lo:1 ~hi:(n * n)
+                (Gen.random_k_connected rng n 2 ~extra:(2 * n))
+            in
+            let tap, _, _, _ = run_tap g in
+            let l = int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
+            check_is
+              (Printf.sprintf "n=%d iterations %d <= 8 log^2" n tap.Tap.iterations)
+              (tap.Tap.iterations <= 8 * l * l))
+          [ 16; 32; 64; 128 ]);
+    case "trace is consistent" (fun () ->
+        let g = List.assoc "rand50" (two_ec_pool ()) in
+        let tap, _, _, _ = run_tap g in
+        check_int "trace length" tap.Tap.iterations (List.length tap.Tap.trace);
+        let last = List.nth tap.Tap.trace (tap.Tap.iterations - 1) in
+        check_int "ends covered" 0 last.Tap.uncovered_left;
+        (* levels never increase along the trace *)
+        let rec monotone = function
+          | a :: (b :: _ as rest) ->
+            check_is "monotone levels" (b.Tap.level <= a.Tap.level);
+            monotone rest
+          | _ -> ()
+        in
+        monotone tap.Tap.trace);
+    case "deterministic given the seed" (fun () ->
+        let g = List.assoc "rand30" (two_ec_pool ()) in
+        let t1, _, _, l1 = run_tap ~seed:123 g in
+        let t2, _, _, l2 = run_tap ~seed:123 g in
+        check_is "same A" (Bitset.equal t1.Tap.augmentation t2.Tap.augmentation);
+        check_int "same rounds" (Rounds.total l1) (Rounds.total l2));
+    case "vote divisor ablation still correct" (fun () ->
+        let g = List.assoc "rand30" (two_ec_pool ()) in
+        List.iter
+          (fun vote_divisor ->
+            let config = { (Tap.default_config (Graph.n g)) with vote_divisor } in
+            let tap, mst, _, _ = run_tap ~config g in
+            let sol = Bitset.copy mst.Mst.mask in
+            Bitset.union_into sol tap.Tap.augmentation;
+            check_is
+              (Printf.sprintf "divisor %d 2EC" vote_divisor)
+              (Dfs.is_two_edge_connected ~mask:sol g))
+          [ 1; 2; 4; 16 ]);
+    case "fails on a graph that is not 2EC" (fun () ->
+        let g = Weights.uniform (Rng.create ~seed:3) ~lo:1 ~hi:5 (Gen.lollipop 5 3) in
+        (match run_tap g with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure"));
+    qcheck
+      (QCheck.Test.make ~name:"TAP output is always 2EC with sane cost"
+         ~count:25 (arb_connected ~max_n:24 ()) (fun params ->
+           let g = two_ec_of_params params in
+           let tap, mst, _, _ = run_tap g in
+           let sol = Bitset.copy mst.Mst.mask in
+           Bitset.union_into sol tap.Tap.augmentation;
+           Dfs.is_two_edge_connected ~mask:sol g
+           && Graph.mask_weight g tap.Tap.augmentation <= Graph.total_weight g));
+  ]
+
+let stress_tests =
+  [
+    slow_case "large high-diameter instance (n=1024)" (fun () ->
+        (* deep trees stress the recursion in waves, skip pointers and the
+           pipelined primitives *)
+        let rng = Rng.create ~seed:1 in
+        let g = Weights.uniform rng ~lo:1 ~hi:10_000 (Gen.circulant 1024 [ 1; 2 ]) in
+        let tap, mst, segs, ledger = run_tap g in
+        let sol = Bitset.copy mst.Mst.mask in
+        Bitset.union_into sol tap.Tap.augmentation;
+        check_is "2EC" (Dfs.is_two_edge_connected ~mask:sol g);
+        check_is "segments sane" (Segments.count segs < 200);
+        check_is "rounds sane" (Rounds.total ledger < 200_000));
+    slow_case "long path-shaped weights (worst-case skip chains)" (fun () ->
+        (* a cycle: the MST is a Hamiltonian path, every cover walk runs
+           along it *)
+        let g = Gen.cycle 1500 in
+        let tap, mst, _, _ = run_tap g in
+        let sol = Bitset.copy mst.Mst.mask in
+        Bitset.union_into sol tap.Tap.augmentation;
+        check_is "2EC" (Dfs.is_two_edge_connected ~mask:sol g);
+        check_int "single closing edge" 1 (Bitset.cardinal tap.Tap.augmentation));
+  ]
+
+let ecss2_tests =
+  [
+    case "solve on the pool, verified" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let r = Ecss2.solve ~seed:4 g in
+            let rep = Verify.check_kecss g r.Ecss2.solution ~k:2 in
+            check_is (name ^ " verified") rep.Verify.ok;
+            check_int (name ^ " weight split")
+              rep.Verify.weight
+              (r.Ecss2.mst_weight + r.Ecss2.augmentation_weight))
+          (two_ec_pool ()));
+    case "O(log n) vs exact optimum on tiny instances" (fun () ->
+        let rng = Rng.create ~seed:31 in
+        for _ = 1 to 6 do
+          let g =
+            Weights.uniform rng ~lo:1 ~hi:20
+              (Gen.random_k_connected rng 8 2 ~extra:4)
+          in
+          let r = Ecss2.solve ~seed:5 g in
+          match Kecss_baselines.Exact.kecss g ~k:2 with
+          | None -> Alcotest.fail "instance should be 2EC"
+          | Some opt ->
+            let ow = Graph.mask_weight g opt in
+            let aw = Graph.mask_weight g r.Ecss2.solution in
+            check_is "within 2 + 8 ln n of optimum"
+              (float_of_int aw
+              <= float_of_int ow *. (2.0 +. (8.0 *. log (float_of_int (Graph.n g)))))
+        done);
+  ]
+
+let () =
+  Alcotest.run "tap"
+    [
+      ("cost", cost_tests);
+      ("tap", tap_tests);
+      ("stress", stress_tests);
+      ("ecss2", ecss2_tests);
+    ]
