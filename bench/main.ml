@@ -161,25 +161,78 @@ let run_micro () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* metrics JSON                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Alongside the wall-clock numbers, dump round/message telemetry for one
+   representative instrumented run per algorithm — the simulated-cost side
+   of the same regression story bechamel tells for real time. *)
+let write_metrics_json path =
+  let module Obs = Kecss_obs in
+  let categories kvs =
+    Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs)
+  in
+  let instrumented name f =
+    let metrics = Obs.Metrics.create () in
+    let ledger = Rounds.create ~metrics () in
+    f ledger;
+    ( name,
+      Obs.Json.Obj
+        [
+          ("engine", Obs.Metrics.summary_to_json (Obs.Metrics.summary metrics));
+          ("rounds_by_category", categories (Rounds.by_category ledger));
+          ("messages_by_category", categories (Rounds.messages_by_category ledger));
+        ] )
+  in
+  let runs =
+    [
+      instrumented "ecss2-n64" (fun ledger ->
+          ignore
+            (Ecss2.solve_with ledger (Rng.create ~seed:1)
+               (W.weighted_random ~n:64 ~k:2)));
+      instrumented "kecss-n32-k3" (fun ledger ->
+          ignore
+            (Kecss.solve_with ledger (Rng.create ~seed:1)
+               (W.weighted_random ~n:32 ~k:3)
+               ~k:3));
+      instrumented "ecss3-n64" (fun ledger ->
+          ignore
+            (Ecss3.solve_with ledger (Rng.create ~seed:1)
+               (W.unweighted_low_d ~n:64)));
+    ]
+  in
+  let doc = Obs.Json.Obj [ ("schema", Obs.Json.Str "kecss-bench-metrics/1"); ("solves", Obs.Json.Obj runs) ] in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "telemetry for representative solves -> %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse exps quick micro_only no_micro = function
-    | [] -> (List.rev exps, quick, micro_only, no_micro)
-    | "--exp" :: id :: rest -> parse (id :: exps) quick micro_only no_micro rest
-    | "--quick" :: rest -> parse exps true micro_only no_micro rest
-    | "--micro-only" :: rest -> parse exps quick true no_micro rest
-    | "--no-micro" :: rest -> parse exps quick micro_only true rest
+  let rec parse exps quick micro_only no_micro mpath = function
+    | [] -> (List.rev exps, quick, micro_only, no_micro, mpath)
+    | "--exp" :: id :: rest -> parse (id :: exps) quick micro_only no_micro mpath rest
+    | "--quick" :: rest -> parse exps true micro_only no_micro mpath rest
+    | "--micro-only" :: rest -> parse exps quick true no_micro mpath rest
+    | "--no-micro" :: rest -> parse exps quick micro_only true mpath rest
+    | "--metrics-out" :: path :: rest ->
+      parse exps quick micro_only no_micro (Some path) rest
     | arg :: _ ->
       Printf.eprintf
         "unknown argument %s\n\
-         usage: main.exe [--quick] [--exp ID]... [--micro-only] [--no-micro]\n"
+         usage: main.exe [--quick] [--exp ID]... [--micro-only] [--no-micro] \
+         [--metrics-out FILE]\n"
         arg;
       exit 2
   in
-  let exps, quick, micro_only, no_micro = parse [] false false false args in
+  let exps, quick, micro_only, no_micro, mpath =
+    parse [] false false false None args
+  in
   if not micro_only then begin
     let targets =
       match exps with
@@ -196,4 +249,5 @@ let () =
     in
     List.iter (fun e -> ignore (E.run_and_print e)) targets
   end;
-  if (not no_micro) || micro_only then run_micro ()
+  if (not no_micro) || micro_only then run_micro ();
+  write_metrics_json (Option.value mpath ~default:"bench-metrics.json")

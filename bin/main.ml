@@ -35,6 +35,56 @@ let k_arg =
   Arg.(value & opt int 2 & info [ "k" ] ~doc)
 
 (* ------------------------------------------------------------------ *)
+(* telemetry plumbing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event telemetry trace to $(docv): algorithm \
+     phases as spans on a simulated-round timeline, plus messages/round \
+     and active-vertex counter tracks. Open in chrome://tracing or \
+     ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Collect round-level engine metrics and print a summary table and the \
+     per-category round ledger on stderr."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* [--trace] implies metric collection: the counter tracks come from the
+   metrics hooks inside the engine. *)
+let make_sinks trace_path metrics_on =
+  let trace =
+    match trace_path with
+    | Some _ -> Kecss_obs.Trace.create ()
+    | None -> Kecss_obs.Trace.noop
+  in
+  let metrics =
+    if metrics_on || trace_path <> None then Kecss_obs.Metrics.create ~trace ()
+    else Kecss_obs.Metrics.noop
+  in
+  (trace, metrics)
+
+let flush_sinks trace_path metrics_on trace metrics ledger =
+  (match trace_path with
+  | Some path ->
+    Kecss_obs.Export.chrome_to_file trace path;
+    Format.eprintf "trace: %d events over %.0f simulated rounds -> %s@."
+      (Kecss_obs.Trace.event_count trace)
+      (Kecss_obs.Trace.now trace)
+      path
+  | None -> ());
+  if metrics_on then begin
+    Format.eprintf "%a@." Kecss_obs.Export.metrics_table metrics;
+    match ledger with
+    | Some l -> Format.eprintf "%a@." Kecss_congest.Rounds.pp l
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -107,24 +157,25 @@ let print_solution g mask =
       Printf.printf "e %d %d %d\n" u v (Graph.weight g e))
     mask
 
-let solve path algo k seed quiet =
+let solve path algo k seed quiet trace_path metrics_on =
   let g = read_graph path in
+  let trace, metrics = make_sinks trace_path metrics_on in
+  let ledger = Kecss_congest.Rounds.create ~trace ~metrics () in
   let pick () =
     match algo with
-    | "2ecss" -> (2, (Ecss2.solve ~seed g).Ecss2.solution, None)
+    | "2ecss" ->
+      let r = Ecss2.solve_with ledger (Rng.create ~seed) g in
+      (2, r.Ecss2.solution, Some r.Ecss2.rounds)
     | "kecss" ->
-      let r = Kecss.solve ~seed g ~k in
+      let r = Kecss.solve_with ledger (Rng.create ~seed) g ~k in
       (k, r.Kecss.solution, Some r.Kecss.rounds)
     | "3ecss-unweighted" ->
-      let ledger = Kecss_congest.Rounds.create () in
       let r = Ecss3.solve_with ledger (Rng.create ~seed) g in
       (3, r.Ecss3.solution, Some (Kecss_congest.Rounds.total ledger))
     | "3ecss-weighted" ->
-      let ledger = Kecss_congest.Rounds.create () in
       let r = Ecss3.solve_weighted_with ledger (Rng.create ~seed) g in
       (3, r.Ecss3.solution, Some (Kecss_congest.Rounds.total ledger))
     | "ftmst" ->
-      let ledger = Kecss_congest.Rounds.create () in
       let r = Ft_mst.build_with ledger (Rng.create ~seed) g in
       (1, r.Ft_mst.mask, Some r.Ft_mst.rounds)
     | "thurimella" ->
@@ -142,6 +193,9 @@ let solve path algo k seed quiet =
   match pick () with
   | exception Failure msg -> `Error (false, msg)
   | k, sol, rounds ->
+  match flush_sinks trace_path metrics_on trace metrics (Some ledger) with
+  | exception Sys_error msg -> `Error (false, "cannot write trace: " ^ msg)
+  | () ->
     let report = Verify.check_kecss g sol ~k in
     if not quiet then begin
       Format.eprintf "%a@." Verify.pp_report report;
@@ -164,7 +218,10 @@ let solve_cmd =
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No report on stderr.") in
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute an approximate minimum k-ECSS.")
-    Term.(ret (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ quiet))
+    Term.(
+      ret
+        (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ quiet $ trace_arg
+       $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -205,27 +262,37 @@ let verify_cmd =
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let experiment ids list_only =
+let experiment ids list_only trace_path metrics_on =
   let module E = Kecss_experiments.Experiments in
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-14s %s\n" e.E.id e.E.title) E.all;
     `Ok ()
   end
   else begin
-    let targets =
-      match ids with
-      | [] -> E.all
-      | ids ->
-        List.map
-          (fun id ->
-            match E.find id with
-            | Some e -> e
-            | None -> failwith ("unknown experiment: " ^ id))
-          ids
-    in
-    match List.iter (fun e -> ignore (E.run_and_print e)) targets with
+    let trace, metrics = make_sinks trace_path metrics_on in
+    (* route every ledger the suite creates into the shared sinks, so the
+       exported trace covers the whole run *)
+    if trace_path <> None || metrics_on then
+      E.set_ledger_factory (fun () ->
+          Kecss_congest.Rounds.create ~trace ~metrics ());
+    match
+      let targets =
+        match ids with
+        | [] -> E.all
+        | ids ->
+          List.map
+            (fun id ->
+              match E.find id with
+              | Some e -> e
+              | None -> failwith ("unknown experiment: " ^ id))
+            ids
+      in
+      List.iter (fun e -> ignore (E.run_and_print e)) targets;
+      flush_sinks trace_path metrics_on trace metrics None
+    with
     | () -> `Ok ()
     | exception Failure msg -> `Error (false, msg)
+    | exception Sys_error msg -> `Error (false, "cannot write trace: " ^ msg)
   end
 
 let experiment_cmd =
@@ -237,7 +304,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run reproduction experiments.")
-    Term.(ret (const experiment $ ids $ list_only))
+    Term.(ret (const experiment $ ids $ list_only $ trace_arg $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)
@@ -245,13 +312,74 @@ let experiment_cmd =
 
 let info_run path =
   let g = read_graph path in
-  Printf.printf "n = %d\nm = %d\ntotal weight = %d\n" (Graph.n g) (Graph.m g)
-    (Graph.total_weight g);
-  if Graph.is_connected g then begin
-    Printf.printf "diameter = %d\n" (Graph.diameter g);
-    Printf.printf "edge connectivity = %d\n" (Edge_connectivity.lambda g)
-  end
-  else Printf.printf "disconnected (%d components)\n" (Graph.num_components g);
+  let n = Graph.n g in
+  let ppf = Format.std_formatter in
+  let connected = Graph.is_connected g in
+  (* double-sweep BFS: a cheap diameter lower bound that is exact on trees
+     and usually tight in practice — the exact O(nm) diameter is only
+     computed on small graphs *)
+  let diameter_estimate =
+    if not connected then -1
+    else begin
+      let far dist =
+        let v = ref 0 in
+        Array.iteri (fun i d -> if d > dist.(!v) then v := i) dist;
+        !v
+      in
+      let d0 = Graph.bfs g 0 in
+      let u = far d0 in
+      let du = Graph.bfs g u in
+      du.(far du)
+    end
+  in
+  let structure =
+    [
+      [ Kecss_obs.Export.S "vertices"; Kecss_obs.Export.I n ];
+      [ Kecss_obs.Export.S "edges"; Kecss_obs.Export.I (Graph.m g) ];
+      [ Kecss_obs.Export.S "total weight"; Kecss_obs.Export.I (Graph.total_weight g) ];
+      [ Kecss_obs.Export.S "max weight"; Kecss_obs.Export.I (Graph.max_weight g) ];
+      [ Kecss_obs.Export.S "components"; Kecss_obs.Export.I (Graph.num_components g) ];
+    ]
+    @ (if not connected then []
+       else
+         [ Kecss_obs.Export.S "diameter (double-sweep LB)";
+           Kecss_obs.Export.I diameter_estimate ]
+         :: (if n <= 512 then
+               [
+                 [ Kecss_obs.Export.S "diameter (exact)";
+                   Kecss_obs.Export.I (Graph.diameter g) ];
+                 [ Kecss_obs.Export.S "edge connectivity";
+                   Kecss_obs.Export.I (Edge_connectivity.lambda g) ];
+               ]
+             else []))
+  in
+  Kecss_obs.Export.table ppf ~title:"structure" ~columns:[ "fact"; "value" ]
+    structure;
+  (* degree histogram *)
+  let max_deg = ref 0 in
+  for v = 0 to n - 1 do
+    max_deg := max !max_deg (Graph.degree g v)
+  done;
+  let hist = Array.make (!max_deg + 1) 0 in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    hist.(d) <- hist.(d) + 1
+  done;
+  let rows = ref [] in
+  Array.iteri
+    (fun d c ->
+      if c > 0 then
+        rows :=
+          [
+            Kecss_obs.Export.I d; Kecss_obs.Export.I c;
+            Kecss_obs.Export.F (100.0 *. float_of_int c /. float_of_int n);
+          ]
+          :: !rows)
+    hist;
+  Kecss_obs.Export.table ppf ~title:"degree histogram"
+    ~columns:[ "degree"; "vertices"; "%" ]
+    (List.rev !rows);
+  Format.pp_print_flush ppf ();
   `Ok ()
 
 let info_cmd =

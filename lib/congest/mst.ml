@@ -52,6 +52,8 @@ let part1 ledger rng g ~cap ~bfs_forest =
     && Array.exists not st.capped
   do
     incr phase;
+    Kecss_obs.Events.mst_phase (Rounds.trace ledger) ~part:1 ~phase:!phase
+      ~fragments:(distinct_count st.fid);
     (* the wave forest excludes capped fragments: their vertices become
        isolated roots and never slow a wave down *)
     let wave_pe =
@@ -180,6 +182,8 @@ let part2 ledger g ~bfs_forest (st : part1) =
   let phase = ref 0 in
   while distinct_count fid > 1 && !phase < safety do
     incr phase;
+    Kecss_obs.Events.mst_phase (Rounds.trace ledger) ~part:2 ~phase:!phase
+      ~fragments:(distinct_count fid);
     let inboxes =
       Prim.exchange ledger g (fun v ->
           Array.to_list (Graph.adj g v)

@@ -1,8 +1,11 @@
 open Kecss_graph
+open Kecss_obs
 
 exception Message_too_large of { vertex : int; words : int }
 exception Duplicate_send of { vertex : int; edge : int }
-exception Did_not_quiesce of { rounds : int }
+
+exception
+  Did_not_quiesce of { rounds : int; active : int; in_flight : int }
 
 let cap_words = 6
 
@@ -15,7 +18,7 @@ type 's program = {
     round:int -> int -> 's -> int array inbox -> send list * [ `Active | `Idle ];
 }
 
-let run_counted ?max_rounds g p =
+let run_counted ?(metrics = Metrics.noop) ?max_rounds g p =
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> (16 * n) + 10_000
@@ -27,7 +30,12 @@ let run_counted ?max_rounds g p =
   let round = ref 0 in
   let counted = ref 0 in
   let messages = ref 0 in
+  let observe = Metrics.enabled metrics in
+  if observe then Metrics.run_begin metrics;
   let any_active () = Array.exists Fun.id active in
+  let count_active () =
+    Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 active
+  in
   while (!in_flight > 0 || any_active ()) && !round < max_rounds do
     (* snapshot and clear inboxes, then step every vertex *)
     let delivered = inboxes in
@@ -49,6 +57,7 @@ let run_counted ?max_rounds g p =
           Hashtbl.replace used edge ();
           let dst = Graph.other_end g edge v in
           next.(dst) <- (edge, payload) :: next.(dst);
+          if observe then Metrics.on_send metrics ~edge;
           incr messages;
           incr in_flight)
         sent_this_round.(v)
@@ -60,9 +69,21 @@ let run_counted ?max_rounds g p =
        pass and a delivery pass.  A pass that only delivers (no sends, no
        vertex still waiting) is the tail of the previous round, not a round
        of its own, so it is not counted. *)
-    if !in_flight > 0 || any_active () then incr counted
+    if !in_flight > 0 || any_active () then begin
+      incr counted;
+      (* an uncounted tail pass sends nothing, so summing the per-round
+         message series over counted rounds yields the total count *)
+      if observe then
+        Metrics.on_round metrics ~messages:!in_flight ~active:(count_active ())
+    end
   done;
-  if !in_flight > 0 || any_active () then raise (Did_not_quiesce { rounds = !round });
+  if !in_flight > 0 || any_active () then begin
+    if observe then Metrics.run_end metrics ~quiesced:false ~rounds:!counted;
+    raise
+      (Did_not_quiesce
+         { rounds = !round; active = count_active (); in_flight = !in_flight })
+  end;
+  if observe then Metrics.run_end metrics ~quiesced:true ~rounds:!counted;
   (states, !counted, !messages)
 
 let run ?max_rounds g p =

@@ -15,10 +15,17 @@
     round iff something was sent in it or some vertex is still waiting. *)
 
 open Kecss_graph
+open Kecss_obs
 
 exception Message_too_large of { vertex : int; words : int }
 exception Duplicate_send of { vertex : int; edge : int }
-exception Did_not_quiesce of { rounds : int }
+
+exception
+  Did_not_quiesce of { rounds : int; active : int; in_flight : int }
+(** Raised after [max_rounds] engine passes without quiescence, with the
+    stuck state attached: how many vertices still returned [`Active] and
+    how many messages were in flight — enough to tell a livelocked wave
+    from a vertex that never went idle. *)
 
 val cap_words : int
 (** Maximum message size in words (an int payload cell = one word). *)
@@ -44,10 +51,19 @@ val run : ?max_rounds:int -> Graph.t -> 's program -> 's array * int
 (** [run g p] is [run_counted g p] without the message count. *)
 
 val run_counted :
-  ?max_rounds:int -> Graph.t -> 's program -> 's array * int * int
+  ?metrics:Metrics.t ->
+  ?max_rounds:int ->
+  Graph.t ->
+  's program ->
+  's array * int * int
 (** [run_counted g p] executes [p] to quiescence and returns the final
     states, the number of rounds used, and the total number of messages
     sent.
+
+    When [?metrics] is a recording collector, the engine records one
+    sample per counted round (messages sent, vertices active), cumulative
+    per-edge congestion, and the run's quiescence round. With the default
+    [Metrics.noop] the instrumentation reduces to one boolean test.
     @raise Message_too_large on an oversized payload
     @raise Duplicate_send if a vertex sends twice on one edge in a round
     @raise Did_not_quiesce after [max_rounds] (default [16 * n + 10_000]). *)

@@ -1,19 +1,28 @@
+open Kecss_obs
+
 type t = {
   mutable total : int;
   mutable total_messages : int;
   mutable prefix : string list; (* innermost first *)
   categories : (string, int) Hashtbl.t;
   message_categories : (string, int) Hashtbl.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
 }
 
-let create () =
+let create ?(trace = Trace.noop) ?(metrics = Metrics.noop) () =
   {
     total = 0;
     total_messages = 0;
     prefix = [];
     categories = Hashtbl.create 16;
     message_categories = Hashtbl.create 16;
+    trace;
+    metrics;
   }
+
+let trace t = t.trace
+let metrics t = t.metrics
 
 let scoped_category t category =
   List.fold_left (fun acc p -> p ^ "/" ^ acc) category t.prefix
@@ -23,7 +32,11 @@ let charge t ~category r =
   t.total <- t.total + r;
   let category = scoped_category t category in
   let prev = Option.value ~default:0 (Hashtbl.find_opt t.categories category) in
-  Hashtbl.replace t.categories category (prev + r)
+  Hashtbl.replace t.categories category (prev + r);
+  (* a charged round advances the trace's logical clock: span durations
+     are rounds, not wall time *)
+  Trace.advance t.trace (float_of_int r);
+  Trace.count t.trace "rounds" r
 
 let charge_messages t ~category m =
   if m < 0 then invalid_arg "Rounds.charge_messages: negative";
@@ -32,13 +45,19 @@ let charge_messages t ~category m =
   let prev =
     Option.value ~default:0 (Hashtbl.find_opt t.message_categories category)
   in
-  Hashtbl.replace t.message_categories category (prev + m)
+  Hashtbl.replace t.message_categories category (prev + m);
+  Trace.count t.trace "messages" m
 
 let total_messages t = t.total_messages
 
 let scoped t name f =
   t.prefix <- name :: t.prefix;
-  Fun.protect ~finally:(fun () -> t.prefix <- List.tl t.prefix) f
+  Trace.begin_span t.trace name;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.end_span t.trace;
+      t.prefix <- List.tl t.prefix)
+    f
 
 let total t = t.total
 
@@ -46,11 +65,26 @@ let by_category t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.categories []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let messages_by_category t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.message_categories []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let reset t =
   t.total <- 0;
   t.total_messages <- 0;
   Hashtbl.reset t.categories;
   Hashtbl.reset t.message_categories
+
+let to_json t =
+  let cats kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs) in
+  Json.to_string
+    (Json.Obj
+       [
+         ("total_rounds", Json.Int t.total);
+         ("total_messages", Json.Int t.total_messages);
+         ("rounds", cats (by_category t));
+         ("messages", cats (messages_by_category t));
+       ])
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>total rounds: %d (messages: %d)" t.total

@@ -3,20 +3,40 @@
     Every distributed primitive charges the exact number of synchronous
     rounds its execution used, tagged with a category, so experiments can
     report both total round counts and per-phase breakdowns (e.g. rounds
-    spent building the MST vs. in TAP iterations). *)
+    spent building the MST vs. in TAP iterations).
+
+    A ledger optionally carries a {!Kecss_obs.Trace} and a
+    {!Kecss_obs.Metrics} collector. When present, {!scoped} opens a trace
+    span under the same name as the round category prefix (so the
+    pretty-printed breakdown and the exported timeline use one naming
+    scheme), every {!charge} advances the trace's logical clock by the
+    charged rounds, and the engine records per-round series into the
+    metrics collector. With the defaults ({!Kecss_obs.Trace.noop},
+    {!Kecss_obs.Metrics.noop}) all of this costs one tag test. *)
+
+open Kecss_obs
 
 type t
 
-val create : unit -> t
+val create : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+
+val trace : t -> Trace.t
+(** The attached trace ([Trace.noop] unless one was passed at creation).
+    Algorithms use this to emit typed events without signature changes. *)
+
+val metrics : t -> Metrics.t
+(** The attached engine-metrics collector (or [Metrics.noop]). *)
 
 val charge : t -> category:string -> int -> unit
 (** [charge t ~category r] adds [r] rounds under [category] (prefixed by
-    the current scope). [r] must be non-negative. *)
+    the current scope) and advances the trace clock by [r]. [r] must be
+    non-negative. *)
 
 val scoped : t -> string -> (unit -> 'a) -> 'a
 (** [scoped t name f] runs [f] with [name/] prepended to every category
     charged inside, so reports show which algorithm phase consumed the
-    primitive rounds (e.g. ["mst/wave_up"]). Nests. *)
+    primitive rounds (e.g. ["mst/wave_up"]). Opens the trace span [name]
+    for the duration of [f]. Nests. *)
 
 val total : t -> int
 (** Total rounds charged so far. *)
@@ -29,9 +49,18 @@ val charge_messages : t -> category:string -> int -> unit
 val total_messages : t -> int
 
 val by_category : t -> (string * int) list
-(** Per-category totals, sorted by category name. *)
+(** Per-category round totals, sorted by category name. *)
+
+val messages_by_category : t -> (string * int) list
+(** Per-category message totals, sorted by category name. *)
 
 val reset : t -> unit
+(** Clears totals and categories. Does not touch the attached trace or
+    metrics collector. *)
+
+val to_json : t -> string
+(** Machine-readable dump: totals plus both category breakdowns, as one
+    JSON object. *)
 
 val pp : Format.formatter -> t -> unit
 (** Renders the total and the per-category breakdown. *)

@@ -1,6 +1,7 @@
 open Kecss_graph
 open Kecss_connectivity
 open Kecss_congest
+open Kecss_obs
 
 type config = {
   m_phase : int;
@@ -65,6 +66,7 @@ let charge_iteration ledger ~bfs_forest ~added =
 
 let augment ?config ledger rng ~bfs_forest g ~h ~k =
   Rounds.scoped ledger "augk" @@ fun () ->
+  let tr = Rounds.trace ledger in
   let n = Graph.n g in
   let m = Graph.m g in
   let config = match config with Some c -> c | None -> default_config n in
@@ -151,8 +153,11 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
     let p_exp = ref 0 (* p = 2^-p_exp *) in
     let phase_iter = ref 0 in
     let phase_len = max 1 (config.m_phase * log2_ceil (n + 1)) in
+    Trace.instant tr "cut census"
+      ~args:[ ("cuts", Trace.Int (Array.length cuts)); ("k", Trace.Int k) ];
     while !uncovered > 0 do
       incr iterations;
+      Events.iteration_begin tr ~algo:"augk" ~index:!iterations;
       (* Line 1–2: levels and candidates *)
       let max_level = ref Cost.useless in
       Graph.iter_edges
@@ -166,14 +171,17 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
         (* no remaining edge covers an uncovered cut: the enumeration must
            have produced a cut that is not a real cut of G (impossible for
            exact enumeration) — fall through to the repair net *)
-        uncovered := 0
+        uncovered := 0;
+        Events.iteration_end tr ~algo:"augk" ~added:0 ~remaining:0
       end
       else begin
         if !max_level <> !current_level then begin
           current_level := !max_level;
           p_exp := log2_ceil (m + 1);
           phase_iter := 0;
-          incr phases
+          incr phases;
+          Events.probability_doubling tr ~algo:"augk" ~p_exp:!p_exp
+            ~phase:!phases
         end;
         if !iterations > config.max_iterations then p_exp := 0;
         let p = Float.pow 2.0 (float_of_int (- !p_exp)) in
@@ -192,6 +200,8 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
               active_weight := !active_weight + e.Graph.w
             end)
           g;
+        Events.candidate_census tr ~algo:"augk" ~level:!max_level
+          ~candidates:(Hashtbl.length active);
         (* Line 4: the MST filter *)
         let added = ref [] in
         if Hashtbl.length active > 0 then begin
@@ -213,8 +223,12 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
         if !phase_iter >= phase_len && !p_exp > 0 then begin
           decr p_exp;
           phase_iter := 0;
-          incr phases
-        end
+          incr phases;
+          Events.probability_doubling tr ~algo:"augk" ~p_exp:!p_exp
+            ~phase:!phases
+        end;
+        Events.iteration_end tr ~algo:"augk" ~added:(List.length !added)
+          ~remaining:!uncovered
       end
     done;
     (* exact termination check with greedy repair (Lemma-4.5 failures) *)
@@ -241,7 +255,9 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
             | _ -> best := Some (e.Graph.w, e.Graph.id))
         g;
       match !best with
-      | Some (_, e) -> add_to_a e
+      | Some (_, e) ->
+        add_to_a e;
+        Events.repair tr ~algo:"augk" ~edge:e
       | None -> failwith "Augk.augment: graph is not k-edge-connected"
     done;
     {

@@ -11,6 +11,7 @@ type result = {
 }
 
 let solve_with ?tap_config ledger rng g =
+  Kecss_obs.Trace.span (Rounds.trace ledger) "ecss2" @@ fun () ->
   let bfs = Prim.bfs_tree ledger g ~root:0 in
   let bfs_forest = Forest.of_rooted_tree bfs in
   let mst = Mst.run ledger (Rng.split rng) g in

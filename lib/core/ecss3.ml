@@ -1,6 +1,7 @@
 open Kecss_graph
 open Kecss_connectivity
 open Kecss_congest
+open Kecss_obs
 module Labels = Kecss_cycle_space.Labels
 
 type config = { m_phase : int; max_iterations : int; bits : int }
@@ -36,6 +37,7 @@ let charge_level_agreement ledger forest =
 (* the common §5 augmentation loop, shared by the unweighted (BFS-tree)
    algorithm of Theorem 1.3 and the weighted (MST) variant of §5.4 *)
 let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
+  let tr = Rounds.trace ledger in
   let n = Graph.n g in
   let m = Graph.m g in
   let config = match config with Some c -> c | None -> default_config n in
@@ -65,6 +67,7 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
     else if !iterations >= config.max_iterations then finished := true
     else begin
       incr iterations;
+      Events.iteration_begin tr ~algo:"ecss3" ~index:!iterations;
       (* dissemination charges of §5.3: root-path labels down the tree,
          path exchange across candidate edges, pipelined n_φ(t) upcast *)
       ignore
@@ -93,15 +96,19 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
         g;
       let level = min !max_level !level_cap in
       charge_level_agreement ledger forest;
-      if (not (Cost.is_candidate_level level)) || level < 1 then
+      if (not (Cost.is_candidate_level level)) || level < 1 then begin
         (* nothing covers anything: only phantom pairs remain *)
-        finished := true
+        finished := true;
+        Events.iteration_end tr ~algo:"ecss3" ~added:0 ~remaining:0
+      end
       else begin
         if level <> !current_level then begin
           current_level := level;
           p_exp := log2_ceil (m + 1);
           phase_iter := 0;
-          incr phases
+          incr phases;
+          Events.probability_doubling tr ~algo:"ecss3" ~p_exp:!p_exp
+            ~phase:!phases
         end;
         let p = Float.pow 2.0 (float_of_int (- !p_exp)) in
         (* Line 3: all active candidates join A directly *)
@@ -117,6 +124,8 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
               added := e.Graph.id :: !added
             end)
           g;
+        Events.candidate_census tr ~algo:"ecss3" ~level
+          ~candidates:(List.length !added);
         ignore
           (Prim.broadcast_list ledger forest ~items:(fun _ ->
                [| 0 |] :: List.map (fun e -> [| e |]) !added));
@@ -126,8 +135,12 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
         if !phase_iter >= phase_len && !p_exp > 0 then begin
           decr p_exp;
           phase_iter := 0;
-          incr phases
-        end
+          incr phases;
+          Events.probability_doubling tr ~algo:"ecss3" ~p_exp:!p_exp
+            ~phase:!phases
+        end;
+        Events.iteration_end tr ~algo:"ecss3" ~added:(List.length !added)
+          ~remaining:(-1)
       end
     end
   done;
@@ -150,7 +163,9 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
           | _ -> best := Some (edge_weight e, e.Graph.id))
       g;
     match !best with
-    | Some (_, e) -> Bitset.add a e
+    | Some (_, e) ->
+      Bitset.add a e;
+      Events.repair tr ~algo:"ecss3" ~edge:e
     | None -> failwith "Ecss3: graph is not 3-edge-connected"
   done;
   let solution = h_and_a () in

@@ -18,6 +18,9 @@ type result = {
 
 let solve_with ?augk_config ledger rng g ~k =
   if k < 1 then invalid_arg "Kecss.solve: k must be >= 1";
+  let tr = Rounds.trace ledger in
+  Kecss_obs.Trace.span tr "kecss" ~args:[ ("k", Kecss_obs.Trace.Int k) ]
+  @@ fun () ->
   let bfs = Prim.bfs_tree ledger g ~root:0 in
   let bfs_forest = Forest.of_rooted_tree bfs in
   (* level 1: the MST is the optimal connected spanning subgraph *)
@@ -36,7 +39,12 @@ let solve_with ?augk_config ledger rng g ~k =
       ]
   in
   for i = 2 to k do
-    let r = Augk.augment ?config:augk_config ledger (Rng.split rng) ~bfs_forest g ~h ~k:i in
+    let r =
+      Kecss_obs.Trace.span tr "kecss/level"
+        ~args:[ ("k", Kecss_obs.Trace.Int i) ]
+      @@ fun () ->
+      Augk.augment ?config:augk_config ledger (Rng.split rng) ~bfs_forest g ~h ~k:i
+    in
     levels :=
       {
         level = i;

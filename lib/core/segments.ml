@@ -22,6 +22,25 @@ type t = {
   wave_forest_ : Forest.t;
 }
 
+(* decomposition-quality event (the Lemma 3.4 quantities); the height
+   computation is skipped entirely on a disabled trace *)
+let stats_event tr t =
+  if Kecss_obs.Trace.enabled tr then
+    let marked =
+      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.marked
+    in
+    let max_height =
+      Array.fold_left
+        (fun acc s ->
+          let dr = Rooted_tree.depth t.tree s.r in
+          List.fold_left
+            (fun acc v -> max acc (Rooted_tree.depth t.tree v - dr))
+            acc s.members)
+        0 t.segs
+    in
+    Kecss_obs.Events.segment_stats tr ~segments:(Array.length t.segs) ~marked
+      ~max_height
+
 let build ledger ~bfs_forest (mst : Mst.result) =
   Rounds.scoped ledger "segments" @@ fun () ->
   let tree = mst.Mst.tree in
@@ -187,18 +206,22 @@ let build ledger ~bfs_forest (mst : Mst.result) =
   ignore
     (Prim.wave_up ledger wave_forest_ ~value:(fun v kids ->
          [| List.fold_left (fun acc k -> max acc k.(0)) v kids |]));
-  {
-    tree;
-    segs = segs_arr;
-    marked;
-    seg_of_vertex_ = seg_of_vertex;
-    seg_of_tree_edge_by_lower;
-    highway_edge;
-    skeleton_parent_ = skeleton_parent;
-    segment_of_d_ = segment_of_d;
-    membership;
-    wave_forest_;
-  }
+  let t =
+    {
+      tree;
+      segs = segs_arr;
+      marked;
+      seg_of_vertex_ = seg_of_vertex;
+      seg_of_tree_edge_by_lower;
+      highway_edge;
+      skeleton_parent_ = skeleton_parent;
+      segment_of_d_ = segment_of_d;
+      membership;
+      wave_forest_;
+    }
+  in
+  stats_event (Rounds.trace ledger) t;
+  t
 
 let tree t = t.tree
 let count t = Array.length t.segs

@@ -1,5 +1,6 @@
 open Kecss_graph
 open Kecss_congest
+open Kecss_obs
 
 type config = { vote_divisor : int; max_iterations : int }
 
@@ -137,6 +138,7 @@ let charge_global_max ledger ~bfs_forest level =
 
 let augment ?config ledger rng ~bfs_forest segments =
   Rounds.scoped ledger "tap" @@ fun () ->
+  let tr = Rounds.trace ledger in
   let tree = Segments.tree segments in
   let g = Rooted_tree.graph tree in
   let n = Graph.n g in
@@ -180,6 +182,7 @@ let augment ?config ledger rng ~bfs_forest segments =
     incr iteration;
     if !iteration > config.max_iterations + n then
       failwith "Tap.augment: graph is not 2-edge-connected (uncoverable edge)";
+    Events.iteration_begin tr ~algo:"tap" ~index:!iteration;
     let ce = uncovered_counts st in
     (* candidate selection at the maximum rounded cost-effectiveness *)
     let levels =
@@ -195,6 +198,19 @@ let augment ?config ledger rng ~bfs_forest segments =
       failwith "Tap.augment: graph is not 2-edge-connected (uncoverable edge)";
     let max_level = Cost.max_level (List.map snd levels) in
     let candidates = List.filter (fun (_, l) -> l = max_level) levels in
+    if Trace.enabled tr then begin
+      let by_level = Hashtbl.create 8 in
+      List.iter
+        (fun (_, l) ->
+          Hashtbl.replace by_level l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_level l)))
+        levels;
+      Events.level_histogram tr ~algo:"tap"
+        (Hashtbl.fold (fun l c acc -> (l, c) :: acc) by_level []
+        |> List.sort compare);
+      Events.candidate_census tr ~algo:"tap" ~level:max_level
+        ~candidates:(List.length candidates)
+    end;
     charge_global_max ledger ~bfs_forest max_level;
     let added = ref [] in
     Array.fill st.best 0 n (max_int, max_int, 0);
@@ -226,7 +242,10 @@ let augment ?config ledger rng ~bfs_forest segments =
         (fun (e, _, c) ->
           let v = Option.value ~default:0 (Hashtbl.find_opt votes e) in
           if config.vote_divisor * v >= c then added := e :: !added)
-        ranked
+        ranked;
+      Events.votes_collected tr
+        ~voters:(Hashtbl.fold (fun _ v acc -> acc + v) votes 0)
+        ~added:(List.length !added)
     end;
     (* account the §3.3 costs: an uncovered edge whose chosen candidate was
        added pays 1/ρ(e) = w(e)/|Ce|, everything else covered now pays 0 *)
@@ -250,6 +269,8 @@ let augment ?config ledger rng ~bfs_forest segments =
         iter_uncovered_on_path st e (cover_edge st))
       !added;
     charge_iteration ledger ~bfs_forest segments st;
+    Events.iteration_end tr ~algo:"tap" ~added:(List.length !added)
+      ~remaining:st.uncovered;
     trace :=
       {
         index = !iteration;

@@ -22,6 +22,44 @@ let fi = float_of_int
 let alg_seed = 1
 
 (* ------------------------------------------------------------------ *)
+(* instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiments obtain ledgers through this factory so a caller (the CLI's
+   [experiment --trace]) can swap in ledgers wired to a shared trace. The
+   default collects engine metrics — cheap — so the rounds experiments can
+   print telemetry snapshots alongside their tables. *)
+let ledger_factory =
+  ref (fun () -> Rounds.create ~metrics:(Kecss_obs.Metrics.create ()) ())
+
+let set_ledger_factory f = ledger_factory := f
+let ledger () = !ledger_factory ()
+
+let snapshot_columns =
+  [
+    "instance"; "rounds"; "msgs"; "peak msgs/rnd"; "mean active"; "peak active";
+    "hot-edge msgs"; "engine runs";
+  ]
+
+let snapshot_row label (m : Kecss_obs.Metrics.t) : Table.cell list =
+  let s = Kecss_obs.Metrics.summary m in
+  [
+    S label; I s.Kecss_obs.Metrics.rounds; I s.Kecss_obs.Metrics.messages;
+    I s.Kecss_obs.Metrics.peak_round_messages;
+    F s.Kecss_obs.Metrics.mean_active; I s.Kecss_obs.Metrics.peak_active;
+    I s.Kecss_obs.Metrics.hottest_edge_messages; I s.Kecss_obs.Metrics.runs;
+  ]
+
+let snapshot_table ~title rows =
+  let t = Table.create ~title:(title ^ " — telemetry snapshot") ~columns:snapshot_columns in
+  List.iter (Table.add_row t) rows;
+  Table.note t
+    "round-level series collected inside Network.run_counted; 'rounds' is \
+     counted engine rounds, which excludes the analytically charged \
+     pipelines";
+  t
+
+(* ------------------------------------------------------------------ *)
 (* Theorem 1.1 — rounds                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -31,10 +69,15 @@ let t11_rounds () =
       ~columns:
         [ "family"; "n"; "m"; "D"; "rounds"; "iters"; "bound"; "rounds/bound" ]
   in
+  let snaps = ref [] in
   let run family g =
     let n = Graph.n g in
     let d = Graph.diameter g in
-    let r = Ecss2.solve ~seed:alg_seed g in
+    let ledger = ledger () in
+    let r = Ecss2.solve_with ledger (Rng.create ~seed:alg_seed) g in
+    snaps :=
+      snapshot_row (Printf.sprintf "%s n=%d" family n) (Rounds.metrics ledger)
+      :: !snaps;
     let bound = (fi d +. sqrtf n) *. log2f n *. log2f n in
     Table.add_row t
       [
@@ -50,7 +93,7 @@ let t11_rounds () =
     [ 64; 128; 256; 512 ];
   Table.note t
     "rounds/bound should stay roughly flat across n within each family";
-  { tables = [ t ]; text = None }
+  { tables = [ t; snapshot_table ~title:"2-ECSS" (List.rev !snaps) ]; text = None }
 
 (* ------------------------------------------------------------------ *)
 (* Theorem 1.1 — approximation                                         *)
@@ -115,13 +158,18 @@ let t12_rounds () =
     Table.create ~title:"k-ECSS rounds vs O(k (D log^3 n + n))  [Thm 1.2]"
       ~columns:[ "k"; "n"; "D"; "rounds"; "iters"; "bound"; "rounds/bound" ]
   in
+  let snaps = ref [] in
   List.iter
     (fun k ->
       List.iter
         (fun n ->
           let g = Workloads.weighted_random ~n ~k in
           let d = Graph.diameter g in
-          let r = Kecss.solve ~seed:alg_seed g ~k in
+          let ledger = ledger () in
+          let r = Kecss.solve_with ledger (Rng.create ~seed:alg_seed) g ~k in
+          snaps :=
+            snapshot_row (Printf.sprintf "k=%d n=%d" k n) (Rounds.metrics ledger)
+            :: !snaps;
           let iters =
             List.fold_left (fun acc li -> acc + li.Kecss.iterations) 0
               r.Kecss.levels
@@ -141,7 +189,7 @@ let t12_rounds () =
   Table.note t
     "per-iteration cost is dominated by the MST filter; iters tracks \
      O(log^3 n) (see L4-iters)";
-  { tables = [ t ]; text = None }
+  { tables = [ t; snapshot_table ~title:"k-ECSS" (List.rev !snaps) ]; text = None }
 
 let t12_approx () =
   let exact =
@@ -192,12 +240,16 @@ let t13_rounds () =
       ~columns:
         [ "n"; "m"; "D"; "rounds"; "iters"; "bound"; "rounds/bound" ]
   in
+  let snaps = ref [] in
   List.iter
     (fun n ->
       let g = Workloads.unweighted_low_d ~n in
       let d = Graph.diameter g in
-      let ledger = Rounds.create () in
+      let ledger = ledger () in
       let r = Ecss3.solve_with ledger (Rng.create ~seed:alg_seed) g in
+      snaps :=
+        snapshot_row (Printf.sprintf "low-D n=%d" n) (Rounds.metrics ledger)
+        :: !snaps;
       let l = log2f n in
       let bound = fi (max 2 d) *. l *. l *. l in
       Table.add_row t
@@ -225,7 +277,7 @@ let t13_rounds () =
   Table.note h2h
     "the paper's point: on low-diameter graphs the cycle-space algorithm \
      avoids the Omega(n) of the generic path; the speedup should grow with n";
-  { tables = [ t; h2h ]; text = None }
+  { tables = [ t; snapshot_table ~title:"3-ECSS" (List.rev !snaps); h2h ]; text = None }
 
 let t13_approx () =
   let t =
@@ -458,15 +510,19 @@ let m_messages () =
       ~columns:
         [ "n"; "m"; "msgs(MST)"; "msgs/m log n"; "msgs(2-ECSS)"; "msgs/m log^3 n" ]
   in
+  let snaps = ref [] in
   List.iter
     (fun n ->
       let g = Workloads.weighted_random ~n ~k:2 in
       let m = Graph.m g in
-      let l1 = Rounds.create () in
+      let l1 = ledger () in
       ignore (Mst.run l1 (Rng.create ~seed:alg_seed) g);
       let mst_msgs = Rounds.total_messages l1 in
-      let l2 = Rounds.create () in
+      let l2 = ledger () in
       ignore (Ecss2.solve_with l2 (Rng.create ~seed:alg_seed) g);
+      snaps :=
+        snapshot_row (Printf.sprintf "2-ECSS n=%d" n) (Rounds.metrics l2)
+        :: !snaps;
       let ecss_msgs = Rounds.total_messages l2 in
       let lg = log2f n in
       Table.add_row t
@@ -479,7 +535,8 @@ let m_messages () =
     "the engine counts every message it delivers; both normalized columns \
      should stay bounded (MST is O(m log n) messages, the 2-ECSS adds \
      O(log^2 n) iterations of O(m + n sqrt n) traffic)";
-  { tables = [ t ]; text = None }
+  { tables = [ t; snapshot_table ~title:"message census" (List.rev !snaps) ];
+    text = None }
 
 (* ------------------------------------------------------------------ *)
 (* Baseline comparison                                                 *)

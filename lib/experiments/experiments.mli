@@ -8,6 +8,12 @@
 
 type output = { tables : Table.t list; text : string option }
 
+val set_ledger_factory : (unit -> Kecss_congest.Rounds.t) -> unit
+(** Replace the ledger source used by the experiments. The default produces
+    metrics-collecting ledgers (so the rounds experiments can print
+    telemetry snapshots); the CLI's [experiment --trace] installs a factory
+    whose ledgers share one trace/metrics sink. *)
+
 type exp = {
   id : string;          (** e.g. "T1.1-rounds" *)
   title : string;

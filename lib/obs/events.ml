@@ -1,0 +1,48 @@
+open Trace
+
+let iteration_begin t ~algo ~index =
+  begin_span t (algo ^ "/iteration") ~args:[ ("index", Int index) ]
+
+let iteration_end t ~algo:_ ~added ~remaining =
+  (* record the outcome as an instant inside the span, then close it: the
+     span-end event itself carries no args in the trace_event model *)
+  instant t "iteration outcome"
+    ~args:[ ("added", Int added); ("remaining", Int remaining) ];
+  end_span t
+
+let candidate_census t ~algo ~level ~candidates =
+  instant t "candidate census"
+    ~args:
+      [ ("algo", Str algo); ("level", Int level); ("candidates", Int candidates) ]
+
+let votes_collected t ~voters ~added =
+  instant t "votes collected"
+    ~args:[ ("voters", Int voters); ("added", Int added) ]
+
+let level_histogram t ~algo levels =
+  instant t "level histogram"
+    ~args:
+      (("algo", Str algo)
+      :: List.map
+           (fun (l, c) -> (Printf.sprintf "2^%d" l, Int c))
+           levels)
+
+let probability_doubling t ~algo ~p_exp ~phase =
+  instant t "probability doubling"
+    ~args:[ ("algo", Str algo); ("p_exp", Int p_exp); ("phase", Int phase) ]
+
+let segment_stats t ~segments ~marked ~max_height =
+  instant t "segment decomposition"
+    ~args:
+      [
+        ("segments", Int segments);
+        ("marked", Int marked);
+        ("max_height", Int max_height);
+      ]
+
+let mst_phase t ~part ~phase ~fragments =
+  instant t "mst phase"
+    ~args:[ ("part", Int part); ("phase", Int phase); ("fragments", Int fragments) ]
+
+let repair t ~algo ~edge =
+  instant t "repair" ~args:[ ("algo", Str algo); ("edge", Int edge) ]

@@ -1,0 +1,41 @@
+(** Typed telemetry events for the solver stack.
+
+    Thin wrappers over {!Trace} that fix the event names and argument
+    schemas the algorithms emit, so exporters and tests agree on what an
+    "iteration" or a "candidate census" looks like. All functions are
+    no-ops on a disabled trace. *)
+
+val iteration_begin : Trace.t -> algo:string -> index:int -> unit
+(** Opens the span ["<algo>/iteration"]. *)
+
+val iteration_end :
+  Trace.t -> algo:string -> added:int -> remaining:int -> unit
+(** Closes the iteration span and records what it achieved: [added] edges
+    committed, [remaining] uncovered objects (tree edges, cuts or pairs). *)
+
+val candidate_census :
+  Trace.t -> algo:string -> level:int -> candidates:int -> unit
+(** The iteration's maximum rounded cost-effectiveness level and how many
+    edges sit at it. *)
+
+val votes_collected : Trace.t -> voters:int -> added:int -> unit
+(** TAP voting: how many uncovered tree edges voted, how many candidates
+    passed the threshold. *)
+
+val level_histogram : Trace.t -> algo:string -> (int * int) list -> unit
+(** ρ̃-level histogram: [(level exponent, edges at that level)] pairs. *)
+
+val probability_doubling :
+  Trace.t -> algo:string -> p_exp:int -> phase:int -> unit
+(** Aug_k / 3-ECSS schedule step: activation probability is now 2^-p_exp,
+    entering [phase]. *)
+
+val segment_stats :
+  Trace.t -> segments:int -> marked:int -> max_height:int -> unit
+(** Result of the §3.2 segment decomposition. *)
+
+val mst_phase : Trace.t -> part:int -> phase:int -> fragments:int -> unit
+(** One Borůvka phase of the distributed MST: [fragments] remain. *)
+
+val repair : Trace.t -> algo:string -> edge:int -> unit
+(** The exact-verification net added [edge] (a w.h.p.-rare event). *)

@@ -1,0 +1,111 @@
+type cell = S of string | I of int | F of float
+
+let cell_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%.3f" f
+
+let table ppf ~title ~columns rows =
+  let rows = List.map (List.map cell_to_string) rows in
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length col) rows)
+      columns
+  in
+  Format.fprintf ppf "@[<v>== %s ==@," title;
+  let emit row =
+    List.iteri
+      (fun i s -> Format.fprintf ppf " %*s " (List.nth widths i) s)
+      row;
+    Format.fprintf ppf "@,"
+  in
+  emit columns;
+  List.iter (fun w -> Format.pp_print_string ppf (String.make (w + 2) '-')) widths;
+  Format.fprintf ppf "@,";
+  List.iter emit rows;
+  Format.fprintf ppf "@]"
+
+(* ----- JSON event encodings ----- *)
+
+let value_to_json = function
+  | Trace.Int i -> Json.Int i
+  | Trace.Float f -> Json.Float f
+  | Trace.Str s -> Json.Str s
+  | Trace.Bool b -> Json.Bool b
+
+let args_to_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) args)
+
+let kind_tag = function
+  | Trace.Span_begin -> "B"
+  | Trace.Span_end -> "E"
+  | Trace.Instant -> "i"
+  | Trace.Counter -> "C"
+
+let jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Trace.event) ->
+      Json.to_buffer buf
+        (Json.Obj
+           [
+             ("ts", Json.Float e.ts);
+             ("ph", Json.Str (kind_tag e.kind));
+             ("name", Json.Str e.name);
+             ("args", args_to_json e.args);
+           ]);
+      Buffer.add_char buf '\n')
+    (Trace.events t);
+  Buffer.contents buf
+
+let chrome t =
+  let event (e : Trace.event) =
+    let base =
+      [
+        ("name", Json.Str e.name);
+        ("ph", Json.Str (kind_tag e.kind));
+        ("ts", Json.Float e.ts);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+      ]
+    in
+    let extra =
+      match e.kind with
+      | Trace.Instant -> [ ("s", Json.Str "t") ]
+      | _ -> []
+    in
+    Json.Obj (base @ extra @ [ ("args", args_to_json e.args) ])
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map event (Trace.events t)));
+         ("displayTimeUnit", Json.Str "ms");
+         ( "otherData",
+           Json.Obj
+             [ ("timeline_unit", Json.Str "1 simulated CONGEST round = 1us") ] );
+       ])
+
+let chrome_to_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome t))
+
+let metrics_table ppf m =
+  let s = Metrics.summary m in
+  table ppf ~title:"CONGEST engine metrics" ~columns:[ "metric"; "value" ]
+    [
+      [ S "counted rounds observed"; I s.Metrics.rounds ];
+      [ S "engine runs"; I s.Metrics.runs ];
+      [ S "messages"; I s.Metrics.messages ];
+      [ S "peak messages/round"; I s.Metrics.peak_round_messages ];
+      [ S "mean messages/round"; F s.Metrics.mean_round_messages ];
+      [ S "peak active vertices"; I s.Metrics.peak_active ];
+      [ S "mean active vertices"; F s.Metrics.mean_active ];
+      [ S "hottest edge id"; I s.Metrics.hottest_edge ];
+      [ S "hottest edge messages"; I s.Metrics.hottest_edge_messages ];
+    ]

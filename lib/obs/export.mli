@@ -1,0 +1,35 @@
+(** Exporters for traces and metrics.
+
+    Three formats:
+    - {!table}: human-readable aligned tables on a [Format] formatter
+      (in the style of [Rounds.pp]);
+    - {!jsonl}: one JSON object per event, newline-delimited — easy to
+      stream and grep;
+    - {!chrome}: the Chrome [trace_event] JSON format — the output file
+      opens directly in [chrome://tracing] or {{:https://ui.perfetto.dev}
+      Perfetto}, with spans on the timeline, instant events as markers and
+      counter tracks for messages/round and active vertices. The timeline
+      unit is one simulated CONGEST round per microsecond. *)
+
+type cell = S of string | I of int | F of float
+
+val table :
+  Format.formatter ->
+  title:string ->
+  columns:string list ->
+  cell list list ->
+  unit
+(** Renders an aligned table with a title line, a header and a rule. *)
+
+val jsonl : Trace.t -> string
+(** All events, one JSON object per line (trailing newline included;
+    empty string for an event-less trace). *)
+
+val chrome : Trace.t -> string
+(** A complete Chrome trace_event JSON document. *)
+
+val chrome_to_file : Trace.t -> string -> unit
+(** [chrome_to_file t path] writes {!chrome} output to [path]. *)
+
+val metrics_table : Format.formatter -> Metrics.t -> unit
+(** The metrics summary as a two-column table. *)

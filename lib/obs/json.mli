@@ -1,0 +1,30 @@
+(** A minimal JSON tree, writer and syntax checker.
+
+    The telemetry exporters ({!Export}, [Rounds.to_json], the bench
+    harness) all produce JSON; this module is the single place that knows
+    how to escape strings and print numbers so the output is actually
+    parseable. Zero dependencies beyond the stdlib. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). Non-finite floats
+    render as [null] — JSON has no representation for them. *)
+
+val escape : string -> string
+(** The JSON string escape of [s], without the surrounding quotes. *)
+
+val check : string -> (unit, string) result
+(** [check s] verifies that [s] is one syntactically well-formed JSON
+    value (recursive-descent, no semantic interpretation). Used by the
+    test suite to validate exporter output without an external JSON
+    dependency. *)

@@ -1,0 +1,97 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind =
+  | Span_begin
+  | Span_end
+  | Instant
+  | Counter
+
+type event = {
+  kind : kind;
+  name : string;
+  ts : float;
+  args : (string * value) list;
+}
+
+type recording = {
+  mutable clock : float;
+  mutable stack : string list; (* innermost first *)
+  mutable events_rev : event list;
+  mutable n_events : int;
+  counters : (string, int) Hashtbl.t;
+}
+
+type t = Noop | Recording of recording
+
+let noop = Noop
+
+let create () =
+  Recording
+    {
+      clock = 0.0;
+      stack = [];
+      events_rev = [];
+      n_events = 0;
+      counters = Hashtbl.create 16;
+    }
+
+let enabled = function Noop -> false | Recording _ -> true
+let now = function Noop -> 0.0 | Recording r -> r.clock
+
+let advance t dt =
+  match t with Noop -> () | Recording r -> r.clock <- r.clock +. dt
+
+let emit r kind name ts args =
+  r.events_rev <- { kind; name; ts; args } :: r.events_rev;
+  r.n_events <- r.n_events + 1
+
+let begin_span t ?(args = []) name =
+  match t with
+  | Noop -> ()
+  | Recording r ->
+    r.stack <- name :: r.stack;
+    emit r Span_begin name r.clock args
+
+let end_span t =
+  match t with
+  | Noop -> ()
+  | Recording r -> (
+    match r.stack with
+    | [] -> ()
+    | name :: rest ->
+      r.stack <- rest;
+      emit r Span_end name r.clock [])
+
+let span t ?args name f =
+  match t with
+  | Noop -> f ()
+  | Recording _ ->
+    begin_span t ?args name;
+    Fun.protect ~finally:(fun () -> end_span t) f
+
+let instant t ?(args = []) name =
+  match t with Noop -> () | Recording r -> emit r Instant name r.clock args
+
+let count t name n =
+  match t with
+  | Noop -> ()
+  | Recording r ->
+    let total = n + Option.value ~default:0 (Hashtbl.find_opt r.counters name) in
+    Hashtbl.replace r.counters name total;
+    emit r Counter name r.clock [ (name, Int total) ]
+
+let sample t ?ts name v =
+  match t with
+  | Noop -> ()
+  | Recording r ->
+    let ts = Option.value ~default:r.clock ts in
+    emit r Counter name ts [ (name, Float v) ]
+
+let counter_total t name =
+  match t with
+  | Noop -> 0
+  | Recording r -> Option.value ~default:0 (Hashtbl.find_opt r.counters name)
+
+let depth = function Noop -> 0 | Recording r -> List.length r.stack
+let events = function Noop -> [] | Recording r -> List.rev r.events_rev
+let event_count = function Noop -> 0 | Recording r -> r.n_events

@@ -1,0 +1,294 @@
+(* The observability layer: traces, metrics, exporters — and the contract
+   that instrumentation never changes algorithm results. *)
+
+open Common
+open Kecss_graph
+open Kecss_congest
+open Kecss_core
+open Kecss_obs
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let tr = Trace.create () in
+  Trace.span tr "outer" (fun () ->
+      Trace.advance tr 3.0;
+      Trace.span tr "inner" (fun () -> Trace.advance tr 2.0);
+      check_int "depth inside outer" 1 (Trace.depth tr));
+  check_int "depth after" 0 (Trace.depth tr);
+  let names =
+    List.map
+      (fun e ->
+        match e.Trace.kind with
+        | Trace.Span_begin -> "B:" ^ e.Trace.name
+        | Trace.Span_end -> "E:" ^ e.Trace.name
+        | Trace.Instant -> "i:" ^ e.Trace.name
+        | Trace.Counter -> "C:" ^ e.Trace.name)
+      (Trace.events tr)
+  in
+  Alcotest.(check (list string))
+    "event order"
+    [ "B:outer"; "B:inner"; "E:inner"; "E:outer" ]
+    names;
+  (* span durations come from the logical clock *)
+  (match Trace.events tr with
+  | [ b_outer; b_inner; e_inner; e_outer ] ->
+    check_is "outer opens at 0" (b_outer.Trace.ts = 0.0);
+    check_is "inner opens at 3" (b_inner.Trace.ts = 3.0);
+    check_is "inner closes at 5" (e_inner.Trace.ts = 5.0);
+    check_is "outer closes at 5" (e_outer.Trace.ts = 5.0)
+  | _ -> Alcotest.fail "expected 4 events");
+  (* exception safety *)
+  (try Trace.span tr "boom" (fun () -> failwith "x") with Failure _ -> ());
+  check_int "depth after exception" 0 (Trace.depth tr)
+
+let test_counters () =
+  let tr = Trace.create () in
+  Trace.count tr "msgs" 3;
+  Trace.advance tr 1.0;
+  Trace.count tr "msgs" 4;
+  Trace.count tr "other" 1;
+  check_int "cumulative" 7 (Trace.counter_total tr "msgs");
+  check_int "independent" 1 (Trace.counter_total tr "other");
+  check_int "unknown" 0 (Trace.counter_total tr "nope");
+  let totals =
+    List.filter_map
+      (fun e ->
+        match (e.Trace.kind, e.Trace.name) with
+        | Trace.Counter, "msgs" -> List.assoc_opt "msgs" e.Trace.args
+        | _ -> None)
+      (Trace.events tr)
+  in
+  check_is "counter events carry cumulative values"
+    (totals = [ Trace.Int 3; Trace.Int 7 ])
+
+let test_noop_trace_records_nothing () =
+  let tr = Trace.noop in
+  Trace.span tr "a" (fun () -> Trace.count tr "c" 5);
+  Trace.instant tr "i";
+  check_is "disabled" (not (Trace.enabled tr));
+  check_int "no events" 0 (Trace.event_count tr);
+  check_int "no counters" 0 (Trace.counter_total tr "c")
+
+(* ------------------------------------------------------------------ *)
+(* Rounds <-> trace integration                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_rounds_drive_clock () =
+  let tr = Trace.create () in
+  let ledger = Rounds.create ~trace:tr () in
+  Rounds.scoped ledger "phase" (fun () ->
+      Rounds.charge ledger ~category:"work" 7;
+      Rounds.charge_messages ledger ~category:"work" 12);
+  check_is "clock = charged rounds" (Trace.now tr = 7.0);
+  check_int "rounds counter" 7 (Trace.counter_total tr "rounds");
+  check_int "messages counter" 12 (Trace.counter_total tr "messages");
+  (* the span name is the category prefix: one naming scheme *)
+  (match Trace.events tr with
+  | e :: _ ->
+    check_is "span kind" (e.Trace.kind = Trace.Span_begin);
+    Alcotest.(check string) "span name" "phase" e.Trace.name
+  | [] -> Alcotest.fail "no events");
+  check_is "ledger categories use the same prefix"
+    (List.mem_assoc "phase/work" (Rounds.by_category ledger))
+
+let test_rounds_to_json () =
+  let ledger = Rounds.create () in
+  Rounds.scoped ledger "outer" (fun () ->
+      Rounds.charge ledger ~category:"x" 3;
+      Rounds.charge_messages ledger ~category:"x" 9);
+  let s = Rounds.to_json ledger in
+  (match Json.check s with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("Rounds.to_json invalid: " ^ e));
+  check_is "mentions category" (String.length s > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let traced_solve () =
+  let rng = Rng.create ~seed:99 in
+  let g =
+    Weights.uniform rng ~lo:1 ~hi:20 (Gen.circulant 16 [ 1; 2 ])
+  in
+  let tr = Trace.create () in
+  let metrics = Metrics.create ~trace:tr () in
+  let ledger = Rounds.create ~trace:tr ~metrics () in
+  ignore (Ecss2.solve_with ledger (Rng.create ~seed:5) g);
+  (tr, metrics, ledger)
+
+let test_jsonl_wellformed () =
+  let tr, _, _ = traced_solve () in
+  let lines =
+    String.split_on_char '\n' (Export.jsonl tr)
+    |> List.filter (fun l -> String.length l > 0)
+  in
+  check_int "one line per event" (Trace.event_count tr) (List.length lines);
+  List.iter
+    (fun l ->
+      match Json.check l with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "bad JSONL line %S: %s" l e))
+    lines
+
+let test_chrome_wellformed () =
+  let tr, _, _ = traced_solve () in
+  let s = Export.chrome tr in
+  (match Json.check s with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("chrome trace invalid: " ^ e));
+  (* the documented phase markers all appear *)
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun frag -> check_is ("contains " ^ frag) (contains frag))
+    [
+      "\"traceEvents\""; "\"ph\":\"B\""; "\"ph\":\"E\""; "\"ph\":\"C\"";
+      "\"ecss2\""; "\"mst\""; "\"segments\""; "\"tap/iteration\"";
+      "messages/round";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine metrics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_sums_to_messages () =
+  let _, metrics, ledger = traced_solve () in
+  let series = Metrics.messages_series metrics in
+  let sum = Array.fold_left ( + ) 0 series in
+  check_int "series sums to collector total" (Metrics.total_messages metrics) sum;
+  check_int "collector total = ledger total" (Rounds.total_messages ledger)
+    (Metrics.total_messages metrics);
+  check_int "series length = rounds observed"
+    (Metrics.rounds_observed metrics)
+    (Array.length series);
+  check_int "active series same length"
+    (Array.length (Metrics.active_series metrics))
+    (Array.length series);
+  check_is "peak is the series max"
+    (Metrics.peak_round_messages metrics
+    = Array.fold_left max 0 series);
+  check_is "some engine runs recorded" (Metrics.runs metrics > 0);
+  (match Metrics.hottest_edge metrics with
+  | Some (_, m) -> check_is "hottest edge carries messages" (m > 0)
+  | None -> Alcotest.fail "expected a hottest edge");
+  let s = Metrics.summary metrics in
+  check_int "summary rounds" (Metrics.rounds_observed metrics) s.Metrics.rounds;
+  match Json.check (Json.to_string (Metrics.to_json metrics)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("metrics json invalid: " ^ e)
+
+(* counted rounds observed by the collector match the ledger's counted
+   engine categories: uncounted tail passes deliver nothing *)
+let test_metrics_vs_engine () =
+  let g = Gen.torus 4 4 in
+  let metrics = Metrics.create () in
+  let ledger = Rounds.create ~metrics () in
+  ignore (Prim.bfs_tree ledger g ~root:0);
+  let series = Metrics.messages_series metrics in
+  check_int "bfs series sums to all messages" (Rounds.total_messages ledger)
+    (Array.fold_left ( + ) 0 series);
+  check_is "every counted round is recorded"
+    (Metrics.rounds_observed metrics > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation is inert: identical results with sinks on and off    *)
+(* ------------------------------------------------------------------ *)
+
+let instrumented () =
+  let tr = Trace.create () in
+  Rounds.create ~trace:tr ~metrics:(Metrics.create ~trace:tr ()) ()
+
+let test_ecss2_unchanged () =
+  List.iter
+    (fun (name, g) ->
+      let plain = Ecss2.solve_with (Rounds.create ()) (Rng.create ~seed:11) g in
+      let traced = Ecss2.solve_with (instrumented ()) (Rng.create ~seed:11) g in
+      check_is (name ^ ": same solution")
+        (Bitset.equal plain.Ecss2.solution traced.Ecss2.solution);
+      check_int (name ^ ": same rounds") plain.Ecss2.rounds traced.Ecss2.rounds)
+    (two_ec_pool ())
+
+let test_kecss_unchanged () =
+  List.iter
+    (fun (name, g) ->
+      let plain =
+        Kecss.solve_with (Rounds.create ()) (Rng.create ~seed:11) g ~k:3
+      in
+      let traced =
+        Kecss.solve_with (instrumented ()) (Rng.create ~seed:11) g ~k:3
+      in
+      check_is (name ^ ": same solution")
+        (Bitset.equal plain.Kecss.solution traced.Kecss.solution);
+      check_int (name ^ ": same rounds") plain.Kecss.rounds traced.Kecss.rounds)
+    (three_ec_pool ())
+
+let test_ecss3_unchanged () =
+  List.iter
+    (fun (name, g) ->
+      let plain =
+        Ecss3.solve_with (Rounds.create ()) (Rng.create ~seed:11) g
+      in
+      let traced = Ecss3.solve_with (instrumented ()) (Rng.create ~seed:11) g in
+      check_is (name ^ ": same solution")
+        (Bitset.equal plain.Ecss3.solution traced.Ecss3.solution);
+      check_int (name ^ ": same iterations") plain.Ecss3.iterations
+        traced.Ecss3.iterations)
+    (three_ec_pool ())
+
+(* ------------------------------------------------------------------ *)
+(* Json validator sanity                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_check () =
+  let ok s = check_is ("valid: " ^ s) (Json.check s = Ok ()) in
+  let bad s = check_is ("invalid: " ^ s) (Json.check s <> Ok ()) in
+  ok "{}";
+  ok "[1, 2.5, -3e2, \"a\\nb\", true, null]";
+  ok "{\"a\": {\"b\": []}}";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\": 1} trailing";
+  bad "\"unterminated";
+  ok (Json.to_string
+        (Json.Obj
+           [ ("x", Json.Float nan); ("y", Json.List [ Json.Int 1 ]) ]))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          case "span nesting" test_span_nesting;
+          case "counters" test_counters;
+          case "noop records nothing" test_noop_trace_records_nothing;
+        ] );
+      ( "rounds-integration",
+        [
+          case "ledger drives the clock" test_rounds_drive_clock;
+          case "rounds to_json" test_rounds_to_json;
+        ] );
+      ( "export",
+        [
+          case "jsonl well-formed" test_jsonl_wellformed;
+          case "chrome well-formed" test_chrome_wellformed;
+          case "json validator" test_json_check;
+        ] );
+      ( "metrics",
+        [
+          case "series sums to messages" test_series_sums_to_messages;
+          case "engine agreement" test_metrics_vs_engine;
+        ] );
+      ( "neutrality",
+        [
+          case "ecss2 unchanged" test_ecss2_unchanged;
+          slow_case "kecss unchanged" test_kecss_unchanged;
+          slow_case "ecss3 unchanged" test_ecss3_unchanged;
+        ] );
+    ]
