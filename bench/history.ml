@@ -1,0 +1,216 @@
+(* Append-only benchmark history.
+
+   Every bench run can append one entry — per-test wall-clock nanos from
+   the bechamel microbenchmarks plus per-experiment simulated costs
+   (rounds, messages, weight against the lower bound) — to a JSONL file
+   named after the revision under test (BENCH_<rev>.json). The schema is
+   versioned so old files keep loading as the record grows, and
+   [compare] diffs the latest entries of two files and flags regressions
+   beyond a relative threshold. *)
+
+module Json = Kecss_obs.Json
+
+let schema_version = "kecss-bench-history/1"
+
+type exp_summary = {
+  rounds : int;
+  messages : int;
+  weight : int;
+  lower_bound : int;
+  ratio : float;
+}
+
+type entry = {
+  rev : string;
+  tests : (string * float) list; (* microbenchmark -> time/run in ns *)
+  experiments : (string * exp_summary) list;
+}
+
+(* ----- revision / path defaults ----- *)
+
+let default_rev () =
+  let from_env v =
+    match Sys.getenv_opt v with Some "" | None -> None | Some s -> Some s
+  in
+  let rev =
+    match from_env "KECSS_BENCH_REV" with
+    | Some r -> r
+    | None -> ( match from_env "GITHUB_SHA" with Some r -> r | None -> "dev")
+  in
+  if String.length rev > 12 then String.sub rev 0 12 else rev
+
+let default_path ~rev = Printf.sprintf "BENCH_%s.json" rev
+
+(* ----- serialization ----- *)
+
+let exp_to_json e =
+  Json.Obj
+    [
+      ("rounds", Json.Int e.rounds);
+      ("messages", Json.Int e.messages);
+      ("weight", Json.Int e.weight);
+      ("lower_bound", Json.Int e.lower_bound);
+      ("ratio", Json.Float e.ratio);
+    ]
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("rev", Json.Str e.rev);
+      ( "tests",
+        Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) e.tests)
+      );
+      ( "experiments",
+        Json.Obj (List.map (fun (id, s) -> (id, exp_to_json s)) e.experiments)
+      );
+    ]
+
+let append ~path entry =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (Json.to_string (entry_to_json entry));
+  output_char oc '\n';
+  close_out oc
+
+(* ----- loading ----- *)
+
+let int_field j key =
+  Option.bind (Json.member key j) Json.to_int_opt |> Option.value ~default:0
+
+let exp_of_json j =
+  {
+    rounds = int_field j "rounds";
+    messages = int_field j "messages";
+    weight = int_field j "weight";
+    lower_bound = int_field j "lower_bound";
+    ratio =
+      Option.bind (Json.member "ratio" j) Json.to_float_opt
+      |> Option.value ~default:Float.nan;
+  }
+
+let entry_of_json j =
+  match Json.member "schema" j with
+  | Some (Json.Str s) when s = schema_version ->
+    let rev =
+      match Option.bind (Json.member "rev" j) Json.to_string_opt with
+      | Some r -> r
+      | None -> "?"
+    in
+    let obj_fields key =
+      match Json.member key j with Some (Json.Obj fields) -> fields | _ -> []
+    in
+    let tests =
+      List.filter_map
+        (fun (name, v) -> Option.map (fun ns -> (name, ns)) (Json.to_float_opt v))
+        (obj_fields "tests")
+    in
+    let experiments =
+      List.map (fun (id, v) -> (id, exp_of_json v)) (obj_fields "experiments")
+    in
+    Ok { rev; tests; experiments }
+  | Some (Json.Str s) -> Error ("unsupported history schema: " ^ s)
+  | _ -> Error "entry has no schema field"
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let entries = ref [] in
+    let line_no = ref 0 in
+    let err = ref None in
+    (try
+       while !err = None do
+         let line = input_line ic in
+         incr line_no;
+         if String.trim line <> "" then
+           match Json.parse line with
+           | Error msg ->
+             err := Some (Printf.sprintf "%s:%d: %s" path !line_no msg)
+           | Ok j -> (
+             match entry_of_json j with
+             | Ok e -> entries := e :: !entries
+             | Error msg ->
+               err := Some (Printf.sprintf "%s:%d: %s" path !line_no msg))
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match !err with Some msg -> Error msg | None -> Ok (List.rev !entries)
+
+(* ----- comparison ----- *)
+
+let pretty_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+(* relative change, guarding the old-value-0 cases *)
+let rel_delta ~old_v ~new_v =
+  if old_v = 0.0 then if new_v = 0.0 then 0.0 else Float.infinity
+  else (new_v -. old_v) /. Float.abs old_v
+
+(* [compare ~threshold ~old_e ~new_e] prints per-test and per-experiment
+   deltas and returns the number of regressions: metrics that got worse by
+   more than [threshold] (relative). Metrics present on only one side are
+   reported but never count as regressions. *)
+let compare ~threshold ~old_e ~new_e =
+  let regressions = ref 0 in
+  let judge delta =
+    if delta > threshold then begin
+      incr regressions;
+      "REGRESSION"
+    end
+    else if delta < -.threshold then "improved"
+    else "ok"
+  in
+  Printf.printf "comparing %s (old) -> %s (new), threshold %.0f%%\n" old_e.rev
+    new_e.rev (100.0 *. threshold);
+  if new_e.tests <> [] || old_e.tests <> [] then begin
+    Printf.printf "%-44s %12s %12s %8s %s\n" "benchmark" "old" "new" "delta"
+      "verdict";
+    Printf.printf "%s\n" (String.make 88 '-');
+    List.iter
+      (fun (name, new_ns) ->
+        match List.assoc_opt name old_e.tests with
+        | None -> Printf.printf "%-44s %12s %12s %8s %s\n" name "-"
+            (pretty_ns new_ns) "-" "new test"
+        | Some old_ns ->
+          let d = rel_delta ~old_v:old_ns ~new_v:new_ns in
+          Printf.printf "%-44s %12s %12s %+7.1f%% %s\n" name
+            (pretty_ns old_ns) (pretty_ns new_ns) (100.0 *. d) (judge d))
+      new_e.tests;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name new_e.tests) then
+          Printf.printf "%-44s %12s %12s %8s %s\n" name "?" "-" "-"
+            "test removed")
+      old_e.tests
+  end;
+  if new_e.experiments <> [] || old_e.experiments <> [] then begin
+    Printf.printf "\n%-20s %-10s %14s %14s %8s %s\n" "experiment" "metric"
+      "old" "new" "delta" "verdict";
+    Printf.printf "%s\n" (String.make 88 '-');
+    List.iter
+      (fun (id, ne) ->
+        match List.assoc_opt id old_e.experiments with
+        | None -> Printf.printf "%-20s %-10s %14s %14s %8s %s\n" id "-" "-" "-"
+            "-" "new experiment"
+        | Some oe ->
+          let metric name old_v new_v fmt =
+            let d = rel_delta ~old_v ~new_v in
+            Printf.printf "%-20s %-10s %14s %14s %+7.1f%% %s\n" id name
+              (fmt old_v) (fmt new_v) (100.0 *. d) (judge d)
+          in
+          let int_fmt v = Printf.sprintf "%d" (int_of_float v) in
+          let ratio_fmt v = Printf.sprintf "%.4f" v in
+          metric "rounds" (float_of_int oe.rounds) (float_of_int ne.rounds)
+            int_fmt;
+          metric "messages"
+            (float_of_int oe.messages)
+            (float_of_int ne.messages)
+            int_fmt;
+          metric "ratio" oe.ratio ne.ratio ratio_fmt)
+      new_e.experiments
+  end;
+  !regressions

@@ -10,12 +10,17 @@
       (on a scaled-down instance of that table's workload) plus the hot
       kernels, so regressions in the implementation itself are visible.
 
+   Results can be appended to a benchmark-history file (see History) and
+   compared against an older file with --compare, which flags regressions
+   beyond --threshold.
+
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --quick      # cheap experiments + micro
      dune exec bench/main.exe -- --exp T1.1-rounds [--exp ...]
      dune exec bench/main.exe -- --micro-only
-     dune exec bench/main.exe -- --no-micro *)
+     dune exec bench/main.exe -- --no-micro
+     dune exec bench/main.exe -- --quick --compare BENCH_old.json *)
 
 open Kecss_graph
 open Kecss_congest
@@ -117,6 +122,9 @@ let kernel_tests =
                 [| List.fold_left (fun a k -> a + k.(0)) 1 kids |])));
   ]
 
+(* runs the microbenchmarks, prints the table and returns the
+   (name, time/run ns) rows so the driver can record them into the
+   benchmark history *)
 let run_micro () =
   print_newline ();
   print_endline "################ W-micro — Bechamel wall-clock benchmarks";
@@ -139,104 +147,188 @@ let run_micro () =
   let rows = List.sort compare rows in
   Printf.printf "%-44s %16s %10s\n" "benchmark" "time/run" "r^2";
   Printf.printf "%s\n" (String.make 72 '-');
-  List.iter
-    (fun (name, ols_result) ->
-      let time_ns =
-        match Analyze.OLS.estimates ols_result with
-        | Some [ t ] -> t
-        | _ -> nan
-      in
-      let r2 =
-        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
-      in
-      let pretty =
-        if Float.is_nan time_ns then "n/a"
-        else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
-        else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
-        else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
-        else Printf.sprintf "%.0f ns" time_ns
-      in
-      Printf.printf "%-44s %16s %10.4f\n" name pretty r2)
-    rows;
-  flush stdout
+  let timed =
+    List.map
+      (fun (name, ols_result) ->
+        let time_ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some [ t ] -> t
+          | _ -> nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+        in
+        Printf.printf "%-44s %16s %10.4f\n" name (History.pretty_ns time_ns) r2;
+        (name, time_ns))
+      rows
+  in
+  flush stdout;
+  timed
 
 (* ------------------------------------------------------------------ *)
 (* metrics JSON                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Alongside the wall-clock numbers, dump round/message telemetry for one
-   representative instrumented run per algorithm — the simulated-cost side
-   of the same regression story bechamel tells for real time. *)
-let write_metrics_json path =
+(* One representative instrumented solve per algorithm — the
+   simulated-cost side of the same regression story bechamel tells for
+   real time. Shared by the metrics-JSON dump and the benchmark history:
+   both record the same runs. *)
+type rep_run = {
+  rr_name : string;
+  rr_ledger : Rounds.t;
+  rr_metrics : Kecss_obs.Metrics.t;
+  rr_weight : int;
+  rr_lower_bound : int;
+}
+
+let mask_weight g mask =
+  let w = ref 0 in
+  Bitset.iter (fun e -> w := !w + Graph.weight g e) mask;
+  !w
+
+let representative_solves () =
+  let run rr_name solve =
+    let rr_metrics = Kecss_obs.Metrics.create () in
+    let rr_ledger = Rounds.create ~metrics:rr_metrics () in
+    let rr_weight, rr_lower_bound = solve rr_ledger in
+    { rr_name; rr_ledger; rr_metrics; rr_weight; rr_lower_bound }
+  in
+  [
+    run "ecss2-n64" (fun ledger ->
+        let g = W.weighted_random ~n:64 ~k:2 in
+        let r = Ecss2.solve_with ledger (Rng.create ~seed:1) g in
+        ( mask_weight g r.Ecss2.solution,
+          Kecss_baselines.Lower_bound.best g ~k:2 ));
+    run "kecss-n32-k3" (fun ledger ->
+        let g = W.weighted_random ~n:32 ~k:3 in
+        let r = Kecss.solve_with ledger (Rng.create ~seed:1) g ~k:3 in
+        ( mask_weight g r.Kecss.solution,
+          Kecss_baselines.Lower_bound.best g ~k:3 ));
+    run "ecss3-n64" (fun ledger ->
+        let g = W.unweighted_low_d ~n:64 in
+        let r = Ecss3.solve_with ledger (Rng.create ~seed:1) g in
+        ( mask_weight g r.Ecss3.solution,
+          Kecss_baselines.Lower_bound.best g ~k:3 ));
+  ]
+
+let write_metrics_json runs path =
   let module Obs = Kecss_obs in
   let categories kvs =
     Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs)
   in
-  let instrumented name f =
-    let metrics = Obs.Metrics.create () in
-    let ledger = Rounds.create ~metrics () in
-    f ledger;
-    ( name,
-      Obs.Json.Obj
-        [
-          ("engine", Obs.Metrics.summary_to_json (Obs.Metrics.summary metrics));
-          ("rounds_by_category", categories (Rounds.by_category ledger));
-          ("messages_by_category", categories (Rounds.messages_by_category ledger));
-        ] )
+  let solves =
+    List.map
+      (fun rr ->
+        ( rr.rr_name,
+          Obs.Json.Obj
+            [
+              ( "engine",
+                Obs.Metrics.summary_to_json (Obs.Metrics.summary rr.rr_metrics)
+              );
+              ("rounds_by_category", categories (Rounds.by_category rr.rr_ledger));
+              ( "messages_by_category",
+                categories (Rounds.messages_by_category rr.rr_ledger) );
+            ] ))
+      runs
   in
-  let runs =
-    [
-      instrumented "ecss2-n64" (fun ledger ->
-          ignore
-            (Ecss2.solve_with ledger (Rng.create ~seed:1)
-               (W.weighted_random ~n:64 ~k:2)));
-      instrumented "kecss-n32-k3" (fun ledger ->
-          ignore
-            (Kecss.solve_with ledger (Rng.create ~seed:1)
-               (W.weighted_random ~n:32 ~k:3)
-               ~k:3));
-      instrumented "ecss3-n64" (fun ledger ->
-          ignore
-            (Ecss3.solve_with ledger (Rng.create ~seed:1)
-               (W.unweighted_low_d ~n:64)));
-    ]
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "kecss-bench-metrics/1");
+        ("solves", Obs.Json.Obj solves);
+      ]
   in
-  let doc = Obs.Json.Obj [ ("schema", Obs.Json.Str "kecss-bench-metrics/1"); ("solves", Obs.Json.Obj runs) ] in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
   output_char oc '\n';
   close_out oc;
   Printf.printf "telemetry for representative solves -> %s\n" path
 
+let history_entry ~rev micro_rows runs =
+  {
+    History.rev;
+    tests = List.filter (fun (_, ns) -> not (Float.is_nan ns)) micro_rows;
+    experiments =
+      List.map
+        (fun rr ->
+          ( rr.rr_name,
+            {
+              History.rounds = Rounds.total rr.rr_ledger;
+              messages = Rounds.total_messages rr.rr_ledger;
+              weight = rr.rr_weight;
+              lower_bound = rr.rr_lower_bound;
+              ratio =
+                (if rr.rr_lower_bound > 0 then
+                   float_of_int rr.rr_weight /. float_of_int rr.rr_lower_bound
+                 else Float.nan);
+            } ))
+        runs;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+type opts = {
+  exps : string list;
+  quick : bool;
+  micro_only : bool;
+  no_micro : bool;
+  mpath : string option;
+  history_out : string option;
+  rev : string option;
+  compare_with : string option;
+  threshold : float;
+}
+
+let usage =
+  "usage: main.exe [--quick] [--exp ID]... [--micro-only] [--no-micro]\n\
+  \       [--metrics-out FILE] [--history-out FILE] [--rev REV]\n\
+  \       [--compare OLD.json] [--threshold FRACTION]\n"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse exps quick micro_only no_micro mpath = function
-    | [] -> (List.rev exps, quick, micro_only, no_micro, mpath)
-    | "--exp" :: id :: rest -> parse (id :: exps) quick micro_only no_micro mpath rest
-    | "--quick" :: rest -> parse exps true micro_only no_micro mpath rest
-    | "--micro-only" :: rest -> parse exps quick true no_micro mpath rest
-    | "--no-micro" :: rest -> parse exps quick micro_only true mpath rest
-    | "--metrics-out" :: path :: rest ->
-      parse exps quick micro_only no_micro (Some path) rest
+  let rec parse o = function
+    | [] -> { o with exps = List.rev o.exps }
+    | "--exp" :: id :: rest -> parse { o with exps = id :: o.exps } rest
+    | "--quick" :: rest -> parse { o with quick = true } rest
+    | "--micro-only" :: rest -> parse { o with micro_only = true } rest
+    | "--no-micro" :: rest -> parse { o with no_micro = true } rest
+    | "--metrics-out" :: path :: rest -> parse { o with mpath = Some path } rest
+    | "--history-out" :: path :: rest ->
+      parse { o with history_out = Some path } rest
+    | "--rev" :: rev :: rest -> parse { o with rev = Some rev } rest
+    | "--compare" :: path :: rest ->
+      parse { o with compare_with = Some path } rest
+    | "--threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t >= 0.0 -> parse { o with threshold = t } rest
+      | _ ->
+        Printf.eprintf "--threshold expects a non-negative fraction\n%s" usage;
+        exit 2)
     | arg :: _ ->
-      Printf.eprintf
-        "unknown argument %s\n\
-         usage: main.exe [--quick] [--exp ID]... [--micro-only] [--no-micro] \
-         [--metrics-out FILE]\n"
-        arg;
+      Printf.eprintf "unknown argument %s\n%s" arg usage;
       exit 2
   in
-  let exps, quick, micro_only, no_micro, mpath =
-    parse [] false false false None args
+  let o =
+    parse
+      {
+        exps = [];
+        quick = false;
+        micro_only = false;
+        no_micro = false;
+        mpath = None;
+        history_out = None;
+        rev = None;
+        compare_with = None;
+        threshold = 0.10;
+      }
+      args
   in
-  if not micro_only then begin
+  if not o.micro_only then begin
     let targets =
-      match exps with
-      | [] -> if quick then List.filter (fun e -> e.E.quick) E.all else E.all
+      match o.exps with
+      | [] -> if o.quick then List.filter (fun e -> e.E.quick) E.all else E.all
       | ids ->
         List.map
           (fun id ->
@@ -249,5 +341,43 @@ let () =
     in
     List.iter (fun e -> ignore (E.run_and_print e)) targets
   end;
-  if (not no_micro) || micro_only then run_micro ();
-  write_metrics_json (Option.value mpath ~default:"bench-metrics.json")
+  let micro_rows =
+    if (not o.no_micro) || o.micro_only then run_micro () else []
+  in
+  let runs = representative_solves () in
+  write_metrics_json runs (Option.value o.mpath ~default:"bench-metrics.json");
+  let rev = Option.value o.rev ~default:(History.default_rev ()) in
+  let entry = history_entry ~rev micro_rows runs in
+  (* --quick runs are the CI-tracked configuration, so they always append
+     to the history; otherwise history is opt-in via --history-out *)
+  (match
+     ( o.history_out,
+       if o.quick then Some (History.default_path ~rev) else None )
+   with
+  | Some path, _ | None, Some path ->
+    History.append ~path entry;
+    Printf.printf "benchmark history entry (rev %s) -> %s\n" rev path
+  | None, None -> ());
+  match o.compare_with with
+  | None -> ()
+  | Some old_path -> (
+    match History.load old_path with
+    | Error msg ->
+      Printf.eprintf "cannot load %s: %s\n" old_path msg;
+      exit 2
+    | Ok [] ->
+      Printf.eprintf "cannot compare: %s has no entries\n" old_path;
+      exit 2
+    | Ok entries ->
+      let old_e = List.nth entries (List.length entries - 1) in
+      print_newline ();
+      let regressions =
+        History.compare ~threshold:o.threshold ~old_e ~new_e:entry
+      in
+      if regressions > 0 then begin
+        Printf.printf "\n%d metric(s) regressed beyond %.0f%%\n" regressions
+          (100.0 *. o.threshold);
+        exit 1
+      end
+      else Printf.printf "\nno regressions beyond %.0f%%\n"
+          (100.0 *. o.threshold))

@@ -4,6 +4,7 @@
      generate    write a workload graph to stdout/file
      solve       run one of the paper's algorithms on a graph file
      verify      check that an edge set is a k-ECSS of a graph
+     audit       solve + verify + baselines + invariant monitor, as one record
      experiment  run experiments from the reproduction suite
      info        print structural facts about a graph *)
 
@@ -54,19 +55,54 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let monitor_arg =
+  let doc =
+    "Check the run against the paper's invariants online (coverage \
+     monotonicity, the TAP vote threshold, cost-effectiveness rounding, \
+     the probability-doubling schedule, iteration bounds) and print the \
+     monitor report on stderr. $(docv) is $(b,warn) (the default) or \
+     $(b,strict); in strict mode any violation makes the command exit \
+     non-zero."
+  in
+  let mode = Arg.enum [ ("warn", `Warn); ("strict", `Strict) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Warn) (some mode) None
+    & info [ "monitor" ] ~docv:"MODE" ~doc)
+
 (* [--trace] implies metric collection: the counter tracks come from the
-   metrics hooks inside the engine. *)
-let make_sinks trace_path metrics_on =
+   metrics hooks inside the engine. [--monitor] needs a recording trace to
+   subscribe to, but not metrics. *)
+let make_sinks trace_path metrics_on monitor_mode =
   let trace =
-    match trace_path with
-    | Some _ -> Kecss_obs.Trace.create ()
-    | None -> Kecss_obs.Trace.noop
+    if trace_path <> None || monitor_mode <> None then Kecss_obs.Trace.create ()
+    else Kecss_obs.Trace.noop
   in
   let metrics =
     if metrics_on || trace_path <> None then Kecss_obs.Metrics.create ~trace ()
     else Kecss_obs.Metrics.noop
   in
-  (trace, metrics)
+  let monitor =
+    match monitor_mode with
+    | None -> None
+    | Some _ ->
+      let mon = Kecss_obs.Monitor.create () in
+      Kecss_obs.Monitor.attach mon trace;
+      Some mon
+  in
+  (trace, metrics, monitor)
+
+(* print the monitor report; in strict mode violations become a CLI error *)
+let monitor_verdict monitor_mode monitor =
+  match (monitor_mode, monitor) with
+  | Some mode, Some mon ->
+    Format.eprintf "%a@." Kecss_obs.Monitor.pp_report mon;
+    if mode = `Strict && not (Kecss_obs.Monitor.ok mon) then
+      Error
+        (Printf.sprintf "monitor: %d invariant violation(s) in strict mode"
+           (List.length (Kecss_obs.Monitor.violations mon)))
+    else Ok ()
+  | _ -> Ok ()
 
 let flush_sinks trace_path metrics_on trace metrics ledger =
   (match trace_path with
@@ -157,40 +193,45 @@ let print_solution g mask =
       Printf.printf "e %d %d %d\n" u v (Graph.weight g e))
     mask
 
-let solve path algo k seed quiet trace_path metrics_on =
-  let g = read_graph path in
-  let trace, metrics = make_sinks trace_path metrics_on in
+(* one dispatch shared by `solve` and `audit`: returns the effective k, the
+   solution mask and the algorithm-reported round count (None for the
+   sequential baselines) *)
+let run_algo ledger ~algo ~k ~seed g =
+  match algo with
+  | "2ecss" ->
+    let r = Ecss2.solve_with ledger (Rng.create ~seed) g in
+    (2, r.Ecss2.solution, Some r.Ecss2.rounds)
+  | "kecss" ->
+    let r = Kecss.solve_with ledger (Rng.create ~seed) g ~k in
+    (k, r.Kecss.solution, Some r.Kecss.rounds)
+  | "3ecss-unweighted" ->
+    let r = Ecss3.solve_with ledger (Rng.create ~seed) g in
+    (3, r.Ecss3.solution, Some (Kecss_congest.Rounds.total ledger))
+  | "3ecss-weighted" ->
+    let r = Ecss3.solve_weighted_with ledger (Rng.create ~seed) g in
+    (3, r.Ecss3.solution, Some (Kecss_congest.Rounds.total ledger))
+  | "ftmst" ->
+    let r = Ft_mst.build_with ledger (Rng.create ~seed) g in
+    (1, r.Ft_mst.mask, Some r.Ft_mst.rounds)
+  | "thurimella" ->
+    let r =
+      Kecss_baselines.Thurimella.sparse_certificate (Rng.create ~seed) g ~k
+    in
+    (k, r.Kecss_baselines.Thurimella.solution, Some r.Kecss_baselines.Thurimella.rounds)
+  | "greedy" -> (k, Kecss_baselines.Greedy.kecss g ~k, None)
+  | "exact" -> (
+    match Kecss_baselines.Exact.kecss g ~k with
+    | Some s -> (k, s, None)
+    | None -> failwith "graph is not k-edge-connected")
+  | a -> failwith ("unknown algorithm: " ^ a)
+
+let solve path algo k seed quiet trace_path metrics_on monitor_mode =
+  match read_graph path with
+  | exception Sys_error msg -> `Error (false, "cannot read graph: " ^ msg)
+  | g ->
+  let trace, metrics, monitor = make_sinks trace_path metrics_on monitor_mode in
   let ledger = Kecss_congest.Rounds.create ~trace ~metrics () in
-  let pick () =
-    match algo with
-    | "2ecss" ->
-      let r = Ecss2.solve_with ledger (Rng.create ~seed) g in
-      (2, r.Ecss2.solution, Some r.Ecss2.rounds)
-    | "kecss" ->
-      let r = Kecss.solve_with ledger (Rng.create ~seed) g ~k in
-      (k, r.Kecss.solution, Some r.Kecss.rounds)
-    | "3ecss-unweighted" ->
-      let r = Ecss3.solve_with ledger (Rng.create ~seed) g in
-      (3, r.Ecss3.solution, Some (Kecss_congest.Rounds.total ledger))
-    | "3ecss-weighted" ->
-      let r = Ecss3.solve_weighted_with ledger (Rng.create ~seed) g in
-      (3, r.Ecss3.solution, Some (Kecss_congest.Rounds.total ledger))
-    | "ftmst" ->
-      let r = Ft_mst.build_with ledger (Rng.create ~seed) g in
-      (1, r.Ft_mst.mask, Some r.Ft_mst.rounds)
-    | "thurimella" ->
-      let r =
-        Kecss_baselines.Thurimella.sparse_certificate (Rng.create ~seed) g ~k
-      in
-      (k, r.Kecss_baselines.Thurimella.solution, Some r.Kecss_baselines.Thurimella.rounds)
-    | "greedy" -> (k, Kecss_baselines.Greedy.kecss g ~k, None)
-    | "exact" -> (
-      match Kecss_baselines.Exact.kecss g ~k with
-      | Some s -> (k, s, None)
-      | None -> failwith "graph is not k-edge-connected")
-    | a -> failwith ("unknown algorithm: " ^ a)
-  in
-  match pick () with
+  match run_algo ledger ~algo ~k ~seed g with
   | exception Failure msg -> `Error (false, msg)
   | k, sol, rounds ->
   match flush_sinks trace_path metrics_on trace metrics (Some ledger) with
@@ -204,7 +245,11 @@ let solve path algo k seed quiet trace_path metrics_on =
       | None -> ())
     end;
     print_solution g sol;
-    if report.Verify.ok then `Ok () else `Error (false, "solution failed verification")
+    match monitor_verdict monitor_mode monitor with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
+      if report.Verify.ok then `Ok ()
+      else `Error (false, "solution failed verification")
 
 let solve_cmd =
   let algo =
@@ -221,7 +266,7 @@ let solve_cmd =
     Term.(
       ret
         (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ quiet $ trace_arg
-       $ metrics_arg))
+       $ metrics_arg $ monitor_arg))
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -259,21 +304,156 @@ let verify_cmd =
     Term.(ret (const verify $ graph_arg $ sol $ k_arg))
 
 (* ------------------------------------------------------------------ *)
+(* audit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mask_weight g mask =
+  let w = ref 0 in
+  Bitset.iter (fun e -> w := !w + Graph.weight g e) mask;
+  !w
+
+(* the sequential greedy baseline enumerates size-(k-1) cuts exhaustively,
+   so it is only joined into the audit on small instances *)
+let greedy_audit_max_n = 24
+
+let audit path algo k seed json_out trace_path =
+  match read_graph path with
+  | exception Sys_error msg -> `Error (false, "cannot read graph: " ^ msg)
+  | g ->
+  let trace = Kecss_obs.Trace.create () in
+  let metrics = Kecss_obs.Metrics.create ~trace () in
+  let monitor = Kecss_obs.Monitor.create () in
+  Kecss_obs.Monitor.attach monitor trace;
+  let ledger = Kecss_congest.Rounds.create ~trace ~metrics () in
+  match run_algo ledger ~algo ~k ~seed g with
+  | exception Failure msg -> `Error (false, msg)
+  | k, sol, _rounds ->
+    let report = Verify.check_kecss g sol ~k in
+    let lower_bound =
+      match Kecss_baselines.Lower_bound.best g ~k with
+      | lb -> lb
+      | exception Invalid_argument _ -> 0 (* no k-ECSS exists *)
+    in
+    let greedy_weight =
+      if Graph.n g <= greedy_audit_max_n then
+        match Kecss_baselines.Greedy.kecss g ~k with
+        | gsol -> mask_weight g gsol
+        | exception _ -> -1
+      else -1
+    in
+    let quality =
+      {
+        Kecss_obs.Audit.weight = report.Verify.weight;
+        edge_count = report.Verify.edge_count;
+        lower_bound;
+        greedy_weight;
+        ratio =
+          (if lower_bound > 0 then
+             float_of_int report.Verify.weight /. float_of_int lower_bound
+           else Float.nan);
+        verified = report.Verify.ok;
+        connectivity = report.Verify.connectivity;
+      }
+    in
+    let cost =
+      {
+        Kecss_obs.Audit.rounds = Kecss_congest.Rounds.total ledger;
+        messages = Kecss_congest.Rounds.total_messages ledger;
+        rounds_by_category = Kecss_congest.Rounds.by_category ledger;
+        messages_by_category = Kecss_congest.Rounds.messages_by_category ledger;
+        engine = Kecss_obs.Metrics.summary metrics;
+      }
+    in
+    let record =
+      {
+        Kecss_obs.Audit.algo;
+        k;
+        n = Graph.n g;
+        m = Graph.m g;
+        seed;
+        quality;
+        cost;
+        coverage = Kecss_obs.Audit.coverage_curves (Kecss_obs.Trace.events trace);
+        violations = Kecss_obs.Monitor.violations monitor;
+      }
+    in
+    match
+      (match trace_path with
+      | Some p -> Kecss_obs.Export.chrome_to_file trace p
+      | None -> ());
+      match json_out with
+      | Some "-" -> print_endline (Kecss_obs.Json.to_string (Kecss_obs.Audit.to_json record))
+      | Some p ->
+        let oc = open_out p in
+        output_string oc (Kecss_obs.Json.to_string (Kecss_obs.Audit.to_json record));
+        output_char oc '\n';
+        close_out oc
+      | None -> Format.printf "%a@." Kecss_obs.Audit.pp record
+    with
+    | exception Sys_error msg -> `Error (false, "cannot write audit: " ^ msg)
+    | () ->
+      if not report.Verify.ok then
+        `Error (false, "solution failed verification")
+      else if record.Kecss_obs.Audit.violations <> [] then
+        `Error
+          ( false,
+            Printf.sprintf "audit: %d invariant violation(s)"
+              (List.length record.Kecss_obs.Audit.violations) )
+      else `Ok ()
+
+let audit_cmd =
+  let algo =
+    let doc =
+      "Algorithm to audit: 2ecss, kecss, 3ecss-unweighted, 3ecss-weighted, \
+       ftmst, thurimella, greedy, exact."
+    in
+    Arg.(value & opt string "2ecss" & info [ "algorithm"; "a" ] ~doc)
+  in
+  let json_out =
+    let doc =
+      "Write the audit record as JSON to $(docv) (- for stdout) instead of \
+       the human-readable tables."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run one algorithm under full telemetry and produce a per-run audit \
+          record: achieved weight against the Lower_bound baseline (an \
+          empirical approximation ratio), the verifier's verdict, the \
+          per-iteration cut-coverage curve, round and message budgets by \
+          span category, and any invariant violations found by the online \
+          monitor. Exits non-zero on verification failure or any violation.")
+    Term.(
+      ret
+        (const audit $ graph_arg $ algo $ k_arg $ seed_arg $ json_out
+       $ trace_arg))
+
+(* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let experiment ids list_only trace_path metrics_on =
+let experiment ids list_only trace_path metrics_on monitor_mode =
   let module E = Kecss_experiments.Experiments in
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-14s %s\n" e.E.id e.E.title) E.all;
     `Ok ()
   end
   else begin
-    let trace, metrics = make_sinks trace_path metrics_on in
+    let trace, metrics, monitor =
+      make_sinks trace_path metrics_on monitor_mode
+    in
     (* route every ledger the suite creates into the shared sinks, so the
-       exported trace covers the whole run *)
-    if trace_path <> None || metrics_on then
+       exported trace covers the whole run; with the monitor alone the
+       snapshot tables keep their own per-experiment metrics, as the
+       default factory gives them *)
+    if trace_path <> None || metrics_on || monitor_mode <> None then
       E.set_ledger_factory (fun () ->
+          let metrics =
+            if metrics_on || trace_path <> None then metrics
+            else Kecss_obs.Metrics.create ()
+          in
           Kecss_congest.Rounds.create ~trace ~metrics ());
     match
       let targets =
@@ -287,12 +467,19 @@ let experiment ids list_only trace_path metrics_on =
               | None -> failwith ("unknown experiment: " ^ id))
             ids
       in
-      List.iter (fun e -> ignore (E.run_and_print e)) targets;
-      flush_sinks trace_path metrics_on trace metrics None
+      List.iter (fun e -> ignore (E.run_and_print e)) targets
     with
-    | () -> `Ok ()
     | exception Failure msg -> `Error (false, msg)
-    | exception Sys_error msg -> `Error (false, "cannot write trace: " ^ msg)
+    | () ->
+      (* the trace-write handler brackets only the flush, mirroring `solve`:
+         a Sys_error raised by the experiments themselves must not be
+         reported as a trace-file problem *)
+      match flush_sinks trace_path metrics_on trace metrics None with
+      | exception Sys_error msg -> `Error (false, "cannot write trace: " ^ msg)
+      | () ->
+        match monitor_verdict monitor_mode monitor with
+        | Error msg -> `Error (false, msg)
+        | Ok () -> `Ok ()
   end
 
 let experiment_cmd =
@@ -304,7 +491,10 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run reproduction experiments.")
-    Term.(ret (const experiment $ ids $ list_only $ trace_arg $ metrics_arg))
+    Term.(
+      ret
+        (const experiment $ ids $ list_only $ trace_arg $ metrics_arg
+       $ monitor_arg))
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)
@@ -394,6 +584,6 @@ let () =
   let main =
     Cmd.group
       (Cmd.info "kecss" ~version:"1.0.0" ~doc)
-      [ generate_cmd; solve_cmd; verify_cmd; experiment_cmd; info_cmd ]
+      [ generate_cmd; solve_cmd; verify_cmd; audit_cmd; experiment_cmd; info_cmd ]
   in
   exit (Cmd.eval main)

@@ -23,6 +23,7 @@ let create ?(trace = Trace.noop) ?(metrics = Metrics.noop) () =
 
 let trace t = t.trace
 let metrics t = t.metrics
+let subscribe t f = Trace.subscribe t.trace f
 
 let scoped_category t category =
   List.fold_left (fun acc p -> p ^ "/" ^ acc) category t.prefix

@@ -27,6 +27,12 @@ val trace : t -> Trace.t
 val metrics : t -> Metrics.t
 (** The attached engine-metrics collector (or [Metrics.noop]). *)
 
+val subscribe : t -> (Trace.event -> unit) -> unit
+(** [subscribe t f] registers [f] on the attached trace
+    ({!Kecss_obs.Trace.subscribe}) — the hook online consumers such as
+    [Kecss_obs.Monitor] attach through without reaching into the ledger's
+    internals. No-op when the ledger carries no recording trace. *)
+
 val charge : t -> category:string -> int -> unit
 (** [charge t ~category r] adds [r] rounds under [category] (prefixed by
     the current scope) and advances the trace clock by [r]. [r] must be

@@ -155,6 +155,7 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
     let phase_len = max 1 (config.m_phase * log2_ceil (n + 1)) in
     Trace.instant tr "cut census"
       ~args:[ ("cuts", Trace.Int (Array.length cuts)); ("k", Trace.Int k) ];
+    Events.instance_size tr ~algo:"augk" ~n;
     while !uncovered > 0 do
       incr iterations;
       Events.iteration_begin tr ~algo:"augk" ~index:!iterations;
@@ -181,7 +182,7 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
           phase_iter := 0;
           incr phases;
           Events.probability_doubling tr ~algo:"augk" ~p_exp:!p_exp
-            ~phase:!phases
+            ~phase:!phases ~reset:true
         end;
         if !iterations > config.max_iterations then p_exp := 0;
         let p = Float.pow 2.0 (float_of_int (- !p_exp)) in
@@ -214,6 +215,13 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
           else
             (* ablation: skip Line 4 and keep every active candidate *)
             Hashtbl.iter (fun e () -> added := e :: !added) active;
+          (* audit the rounding evidence before add_to_a mutates ce *)
+          if Trace.enabled tr then
+            List.iter
+              (fun e ->
+                Events.rho_audit tr ~algo:"augk" ~edge:e ~covered:ce.(e)
+                  ~weight:(Graph.weight g e) ~level:!max_level)
+              !added;
           List.iter add_to_a (List.sort compare !added)
         end;
         charge_mst_filter ~active;
@@ -225,7 +233,7 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
           phase_iter := 0;
           incr phases;
           Events.probability_doubling tr ~algo:"augk" ~p_exp:!p_exp
-            ~phase:!phases
+            ~phase:!phases ~reset:false
         end;
         Events.iteration_end tr ~algo:"augk" ~added:(List.length !added)
           ~remaining:!uncovered

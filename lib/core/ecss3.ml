@@ -56,6 +56,7 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
   let p_exp = ref 0 in
   let phase_iter = ref 0 in
   let phase_len = max 1 (config.m_phase * log2_ceil (n + 1)) in
+  Events.instance_size tr ~algo:"ecss3" ~n;
   let finished = ref false in
   while not !finished do
     (* fresh circulation of H ∪ A — the distributed O(D) wave of §5.1 *)
@@ -108,7 +109,7 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
           phase_iter := 0;
           incr phases;
           Events.probability_doubling tr ~algo:"ecss3" ~p_exp:!p_exp
-            ~phase:!phases
+            ~phase:!phases ~reset:true
         end;
         let p = Float.pow 2.0 (float_of_int (- !p_exp)) in
         (* Line 3: all active candidates join A directly *)
@@ -121,7 +122,11 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
               && (!p_exp = 0 || Rng.bernoulli rng p)
             then begin
               Bitset.add a e.Graph.id;
-              added := e.Graph.id :: !added
+              added := e.Graph.id :: !added;
+              if Trace.enabled tr then
+                Events.rho_audit tr ~algo:"ecss3" ~edge:e.Graph.id
+                  ~covered:(Labels.pairs_covered labels e.Graph.id)
+                  ~weight:(edge_weight e) ~level:cand_level.(e.Graph.id)
             end)
           g;
         Events.candidate_census tr ~algo:"ecss3" ~level
@@ -137,7 +142,7 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
           phase_iter := 0;
           incr phases;
           Events.probability_doubling tr ~algo:"ecss3" ~p_exp:!p_exp
-            ~phase:!phases
+            ~phase:!phases ~reset:false
         end;
         Events.iteration_end tr ~algo:"ecss3" ~added:(List.length !added)
           ~remaining:(-1)

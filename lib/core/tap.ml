@@ -174,6 +174,7 @@ let augment ?config ledger rng ~bfs_forest segments =
       end)
     non_tree;
   charge_iteration ledger ~bfs_forest segments st;
+  Events.instance_size tr ~algo:"tap" ~n;
   let trace = ref [] in
   let iteration = ref 0 in
   let forced = ref 0 in
@@ -241,7 +242,11 @@ let augment ?config ledger rng ~bfs_forest segments =
       List.iter
         (fun (e, _, c) ->
           let v = Option.value ~default:0 (Hashtbl.find_opt votes e) in
-          if config.vote_divisor * v >= c then added := e :: !added)
+          if config.vote_divisor * v >= c then begin
+            added := e :: !added;
+            Events.vote_audit tr ~edge:e ~votes:v ~ce:c
+              ~divisor:config.vote_divisor
+          end)
         ranked;
       Events.votes_collected tr
         ~voters:(Hashtbl.fold (fun _ v acc -> acc + v) votes 0)
@@ -262,7 +267,14 @@ let augment ?config ledger rng ~bfs_forest segments =
           st.cost_sum <-
             st.cost_sum +. (float_of_int (Graph.weight g be) /. float_of_int bc))
       st.best;
-    (* commit the additions *)
+    (* commit the additions; audit the rounding evidence first, while the
+       coverage state (and hence |Ce|) is still pre-commit *)
+    if Trace.enabled tr then
+      List.iter
+        (fun e ->
+          Events.rho_audit tr ~algo:"tap" ~edge:e ~covered:(ce e)
+            ~weight:(Graph.weight g e) ~level:max_level)
+        !added;
     List.iter
       (fun e ->
         Bitset.add st.a e;

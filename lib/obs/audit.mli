@@ -1,0 +1,63 @@
+(** Per-run audit records: quality + cost for one solve.
+
+    An audit joins three data sources into one schema-versioned record:
+    the solution's {e quality} (achieved weight against a valid lower
+    bound — an empirical approximation ratio — plus the verifier's
+    verdict), the run's {e cost} (simulated rounds and messages, broken
+    down by span category, plus the engine-metrics summary), and the
+    run's {e trajectory} (the per-iteration cut-coverage curve extracted
+    from the trace, and any invariant violations the {!Monitor} found).
+
+    This module owns only the record shape and its renderings; the
+    callers that can see the graph, the verifier and the baselines
+    (bin/, bench/) fill it in. *)
+
+type quality = {
+  weight : int;         (** total weight of the solution edges *)
+  edge_count : int;
+  lower_bound : int;    (** a valid lower bound on OPT (Lower_bound) *)
+  greedy_weight : int;  (** the sequential greedy baseline, -1 if n/a *)
+  ratio : float;        (** weight / lower_bound — an upper bound on the
+                            true approximation ratio *)
+  verified : bool;      (** the Verify report's verdict *)
+  connectivity : int;   (** measured λ of the solution (capped) *)
+}
+
+type cost = {
+  rounds : int;
+  messages : int;
+  rounds_by_category : (string * int) list;
+  messages_by_category : (string * int) list;
+  engine : Metrics.summary;
+}
+
+type t = {
+  algo : string;
+  k : int;
+  n : int;
+  m : int;
+  seed : int;
+  quality : quality;
+  cost : cost;
+  coverage : (string * (int * int) list) list;
+      (** per algorithm: (iteration index, uncovered objects after it) —
+          the cut-coverage curve; empty when the run was not traced *)
+  violations : Monitor.violation list;
+}
+
+val schema_version : string
+(** ["kecss-audit/1"] — bumped on any incompatible field change. *)
+
+val coverage_curves : Trace.event list -> (string * (int * int) list) list
+(** Extract the per-iteration coverage curves from a recorded event
+    stream: pairs iteration indices (from the ["<algo>/iteration"] span
+    opens) with the [remaining] counts of the matching
+    ["iteration outcome"] instants. Algorithms that do not track a
+    remaining count (negative values) are omitted. *)
+
+val to_json : t -> Json.t
+(** The full record, ["schema"] field included. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering: quality and cost tables, the coverage
+    summary and the violation list. *)

@@ -3,12 +3,16 @@ open Trace
 let iteration_begin t ~algo ~index =
   begin_span t (algo ^ "/iteration") ~args:[ ("index", Int index) ]
 
-let iteration_end t ~algo:_ ~added ~remaining =
+let iteration_end t ~algo ~added ~remaining =
   (* record the outcome as an instant inside the span, then close it: the
      span-end event itself carries no args in the trace_event model *)
   instant t "iteration outcome"
-    ~args:[ ("added", Int added); ("remaining", Int remaining) ];
+    ~args:
+      [ ("algo", Str algo); ("added", Int added); ("remaining", Int remaining) ];
   end_span t
+
+let instance_size t ~algo ~n =
+  instant t "instance size" ~args:[ ("algo", Str algo); ("n", Int n) ]
 
 let candidate_census t ~algo ~level ~candidates =
   instant t "candidate census"
@@ -19,6 +23,22 @@ let votes_collected t ~voters ~added =
   instant t "votes collected"
     ~args:[ ("voters", Int voters); ("added", Int added) ]
 
+let vote_audit t ~edge ~votes ~ce ~divisor =
+  instant t "vote audit"
+    ~args:
+      [
+        ("edge", Int edge); ("votes", Int votes); ("ce", Int ce);
+        ("divisor", Int divisor);
+      ]
+
+let rho_audit t ~algo ~edge ~covered ~weight ~level =
+  instant t "rho audit"
+    ~args:
+      [
+        ("algo", Str algo); ("edge", Int edge); ("covered", Int covered);
+        ("weight", Int weight); ("level", Int level);
+      ]
+
 let level_histogram t ~algo levels =
   instant t "level histogram"
     ~args:
@@ -27,9 +47,13 @@ let level_histogram t ~algo levels =
            (fun (l, c) -> (Printf.sprintf "2^%d" l, Int c))
            levels)
 
-let probability_doubling t ~algo ~p_exp ~phase =
+let probability_doubling t ~algo ~p_exp ~phase ~reset =
   instant t "probability doubling"
-    ~args:[ ("algo", Str algo); ("p_exp", Int p_exp); ("phase", Int phase) ]
+    ~args:
+      [
+        ("algo", Str algo); ("p_exp", Int p_exp); ("phase", Int phase);
+        ("reset", Bool reset);
+      ]
 
 let segment_stats t ~segments ~marked ~max_height =
   instant t "segment decomposition"

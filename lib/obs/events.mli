@@ -11,7 +11,13 @@ val iteration_begin : Trace.t -> algo:string -> index:int -> unit
 val iteration_end :
   Trace.t -> algo:string -> added:int -> remaining:int -> unit
 (** Closes the iteration span and records what it achieved: [added] edges
-    committed, [remaining] uncovered objects (tree edges, cuts or pairs). *)
+    committed, [remaining] uncovered objects (tree edges, cuts or pairs;
+    a negative value means "not tracked" and monitors skip it). *)
+
+val instance_size : Trace.t -> algo:string -> n:int -> unit
+(** Emitted once at the start of each augmentation run with the instance
+    size, so an online monitor can derive iteration bounds and reset its
+    per-run state (e.g. coverage monotonicity) between solves. *)
 
 val candidate_census :
   Trace.t -> algo:string -> level:int -> candidates:int -> unit
@@ -22,13 +28,31 @@ val votes_collected : Trace.t -> voters:int -> added:int -> unit
 (** TAP voting: how many uncovered tree edges voted, how many candidates
     passed the threshold. *)
 
+val vote_audit :
+  Trace.t -> edge:int -> votes:int -> ce:int -> divisor:int -> unit
+(** One accepted TAP candidate with the evidence for its acceptance: it
+    received [votes] votes against [ce] uncovered tree edges on its
+    fundamental path, under threshold ≥ |Ce|/[divisor] (§3 line 5, the
+    paper's divisor is 8). A checker must find [divisor·votes ≥ ce]. *)
+
+val rho_audit :
+  Trace.t ->
+  algo:string -> edge:int -> covered:int -> weight:int -> level:int -> unit
+(** One committed edge with the inputs of its rounded cost-effectiveness:
+    the claimed [level] must be the exponent of the smallest power of two
+    strictly greater than [covered]/[weight] (§2.1), i.e. exactly
+    [Cost.level ~covered ~weight]. Emitted only for edges actually added,
+    so the stream stays small. *)
+
 val level_histogram : Trace.t -> algo:string -> (int * int) list -> unit
 (** ρ̃-level histogram: [(level exponent, edges at that level)] pairs. *)
 
 val probability_doubling :
-  Trace.t -> algo:string -> p_exp:int -> phase:int -> unit
+  Trace.t -> algo:string -> p_exp:int -> phase:int -> reset:bool -> unit
 (** Aug_k / 3-ECSS schedule step: activation probability is now 2^-p_exp,
-    entering [phase]. *)
+    entering [phase]. [reset] marks the start of a new level (probability
+    back to its minimum); otherwise the step must halve the exponent's
+    distance to 0 by exactly one (the doubling schedule of §4). *)
 
 val segment_stats :
   Trace.t -> segments:int -> marked:int -> max_height:int -> unit

@@ -61,11 +61,30 @@ let to_string v =
   to_buffer buf v;
   Buffer.contents buf
 
-(* ----- syntax checker ----- *)
+(* ----- parser ----- *)
 
 exception Bad of string
 
-let check s =
+(* UTF-8 encode one scalar value into [buf] *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let parse s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
@@ -88,8 +107,23 @@ let check s =
     if !pos + l <= n && String.sub s !pos l = word then pos := !pos + l
     else fail ("expected " ^ word)
   in
+  let hex4 () =
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      (match peek () with
+      | Some ('0' .. '9' as c) -> v := (!v * 16) + Char.code c - Char.code '0'
+      | Some ('a' .. 'f' as c) ->
+        v := (!v * 16) + Char.code c - Char.code 'a' + 10
+      | Some ('A' .. 'F' as c) ->
+        v := (!v * 16) + Char.code c - Char.code 'A' + 10
+      | _ -> fail "bad \\u escape");
+      advance ()
+    done;
+    !v
+  in
   let string_lit () =
     expect '"';
+    let buf = Buffer.create 16 in
     let closed = ref false in
     while not !closed do
       match peek () with
@@ -100,18 +134,44 @@ let check s =
       | Some '\\' -> (
         advance ();
         match peek () with
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some (('"' | '\\' | '/') as c) ->
+          Buffer.add_char buf c;
+          advance ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
         | Some 'u' ->
           advance ();
-          for _ = 1 to 4 do
-            match peek () with
-            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
-            | _ -> fail "bad \\u escape"
-          done
+          let cp = hex4 () in
+          let cp =
+            if cp >= 0xd800 && cp <= 0xdbff
+               && !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+            then begin
+              (* high surrogate followed by another \u escape: pair them *)
+              let save = !pos in
+              advance ();
+              advance ();
+              let lo = hex4 () in
+              if lo >= 0xdc00 && lo <= 0xdfff then
+                0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00)
+              else begin
+                pos := save;
+                0xfffd
+              end
+            end
+            else if cp >= 0xd800 && cp <= 0xdfff then 0xfffd (* lone *)
+            else cp
+          in
+          add_utf8 buf cp
         | _ -> fail "bad escape")
       | Some c when Char.code c < 0x20 -> fail "control char in string"
-      | Some _ -> advance ()
-    done
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ()
+    done;
+    Buffer.contents buf
   in
   let digits () =
     let start = !pos in
@@ -121,18 +181,28 @@ let check s =
     if !pos = start then fail "expected digit"
   in
   let number () =
+    let start = !pos in
+    let fractional = ref false in
     if peek () = Some '-' then advance ();
     digits ();
     if peek () = Some '.' then begin
+      fractional := true;
       advance ();
       digits ()
     end;
     (match peek () with
     | Some ('e' | 'E') ->
+      fractional := true;
       advance ();
       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
       digits ()
-    | _ -> ())
+    | _ -> ());
+    let lit = String.sub s start (!pos - start) in
+    if !fractional then Float (float_of_string lit)
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> Float (float_of_string lit) (* out of int range *)
   in
   let rec value () =
     skip_ws ();
@@ -140,15 +210,20 @@ let check s =
     | Some '{' ->
       advance ();
       skip_ws ();
-      if peek () = Some '}' then advance ()
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
       else begin
+        let fields = ref [] in
         let more = ref true in
         while !more do
           skip_ws ();
-          string_lit ();
+          let key = string_lit () in
           skip_ws ();
           expect ':';
-          value ();
+          let v = value () in
+          fields := (key, v) :: !fields;
           skip_ws ();
           match peek () with
           | Some ',' -> advance ()
@@ -156,16 +231,21 @@ let check s =
             advance ();
             more := false
           | _ -> fail "expected ',' or '}'"
-        done
+        done;
+        Obj (List.rev !fields)
       end
     | Some '[' ->
       advance ();
       skip_ws ();
-      if peek () = Some ']' then advance ()
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
       else begin
+        let items = ref [] in
         let more = ref true in
         while !more do
-          value ();
+          items := value () :: !items;
           skip_ws ();
           match peek () with
           | Some ',' -> advance ()
@@ -173,19 +253,44 @@ let check s =
             advance ();
             more := false
           | _ -> fail "expected ',' or ']'"
-        done
+        done;
+        List (List.rev !items)
       end
-    | Some '"' -> string_lit ()
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
+    | Some '"' -> Str (string_lit ())
+    | Some 't' ->
+      literal "true";
+      Bool true
+    | Some 'f' ->
+      literal "false";
+      Bool false
+    | Some 'n' ->
+      literal "null";
+      Null
     | Some ('-' | '0' .. '9') -> number ()
     | _ -> fail "expected a JSON value"
   in
   match
-    value ();
+    let v = value () in
     skip_ws ();
-    if !pos <> n then fail "trailing garbage"
+    if !pos <> n then fail "trailing garbage";
+    v
   with
-  | () -> Ok ()
+  | v -> Ok v
   | exception Bad msg -> Error msg
+
+let check s = match parse s with Ok _ -> Ok () | Error e -> Error e
+
+(* ----- accessors (for consumers of parsed documents) ----- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None

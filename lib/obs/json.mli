@@ -23,8 +23,29 @@ val to_string : t -> string
 val escape : string -> string
 (** The JSON string escape of [s], without the surrounding quotes. *)
 
+val parse : string -> (t, string) result
+(** [parse s] parses one JSON value (recursive-descent, stdlib-only).
+    Numbers without a fraction or exponent part become [Int] (falling
+    back to [Float] outside the native int range), everything else
+    [Float]; [\u] escapes are decoded to UTF-8 (surrogate pairs
+    combined, lone surrogates replaced by U+FFFD). Object field order
+    is preserved, duplicate keys are kept. For any [v] built from
+    finite floats, [parse (to_string v) = Ok v] up to the usual
+    integer-valued-[Float]/[Int] identification of JSON. *)
+
 val check : string -> (unit, string) result
 (** [check s] verifies that [s] is one syntactically well-formed JSON
-    value (recursive-descent, no semantic interpretation). Used by the
-    test suite to validate exporter output without an external JSON
-    dependency. *)
+    value ({!parse} with the result discarded). Used by the test suite
+    to validate exporter output without an external JSON dependency. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** [member key v] is the field [key] of an [Obj] (first occurrence),
+    [None] on any other constructor. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [Int]s widen to float. *)
+
+val to_string_opt : t -> string option

@@ -1,0 +1,244 @@
+type violation = {
+  invariant : string;
+  detail : string;
+  event : Trace.event;
+}
+
+(* per-augmentation-run, per-algorithm checker state *)
+type algo_state = {
+  mutable last_remaining : int option;
+  mutable last_p_exp : int option;
+  mutable last_phase : int;
+  mutable iteration_bound : int option;
+}
+
+type t = {
+  algos : (string, algo_state) Hashtbl.t;
+  mutable violations_rev : violation list;
+  mutable n_violations : int;
+  mutable n_events : int;
+}
+
+let create () =
+  {
+    algos = Hashtbl.create 8;
+    violations_rev = [];
+    n_violations = 0;
+    n_events = 0;
+  }
+
+let state t algo =
+  match Hashtbl.find_opt t.algos algo with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        last_remaining = None;
+        last_p_exp = None;
+        last_phase = 0;
+        iteration_bound = None;
+      }
+    in
+    Hashtbl.add t.algos algo s;
+    s
+
+let reset_run s =
+  s.last_remaining <- None;
+  s.last_p_exp <- None;
+  s.last_phase <- 0
+
+let violate t ~invariant ~event fmt =
+  Printf.ksprintf
+    (fun detail ->
+      t.violations_rev <- { invariant; detail; event } :: t.violations_rev;
+      t.n_violations <- t.n_violations + 1)
+    fmt
+
+let arg_int args key =
+  match List.assoc_opt key args with Some (Trace.Int i) -> Some i | _ -> None
+
+let arg_str args key =
+  match List.assoc_opt key args with Some (Trace.Str s) -> Some s | _ -> None
+
+let arg_bool args key =
+  match List.assoc_opt key args with Some (Trace.Bool b) -> Some b | _ -> None
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (2 * v) in
+  go 0 1
+
+(* the explicit-constant finite-size iteration bounds: the solver defaults
+   (Tap.default_config / Augk.default_config / Ecss3.default_config) plus
+   the +n unconditional-termination slack *)
+let iteration_bound ~algo ~n =
+  let l = max 1 (log2_ceil (n + 1)) in
+  match algo with
+  | "tap" -> Some ((64 * l * l) + 200 + n)
+  | "augk" | "ecss3" -> Some ((20 * l * l * l) + 500 + n)
+  | _ -> None
+
+(* independent re-derivation of Cost.level: the smallest z with
+   2^z * weight > covered (z may be negative); max_int when weight = 0 *)
+let expected_level ~covered ~weight =
+  if weight = 0 then max_int
+  else if weight <= covered then begin
+    let rec go z acc = if acc > covered then z else go (z + 1) (2 * acc) in
+    go 0 weight
+  end
+  else begin
+    let rec go tpow pow = if weight > covered * pow then go (tpow + 1) (2 * pow) else tpow in
+    -(go 0 1 - 1)
+  end
+
+let on_instance_size t event args =
+  match (arg_str args "algo", arg_int args "n") with
+  | Some algo, Some n ->
+    let s = state t algo in
+    reset_run s;
+    s.iteration_bound <- iteration_bound ~algo ~n;
+    ignore event
+  | _ -> ()
+
+let on_iteration_begin t event name args =
+  (* span "<algo>/iteration" *)
+  match String.index_opt name '/' with
+  | Some i when String.sub name i (String.length name - i) = "/iteration" -> (
+    let algo = String.sub name 0 i in
+    match arg_int args "index" with
+    | None -> ()
+    | Some index -> (
+      let s = state t algo in
+      match s.iteration_bound with
+      | Some bound when index > bound ->
+        violate t ~invariant:"iteration-bound" ~event
+          "%s iteration %d exceeds the bound %d" algo index bound
+      | _ -> ()))
+  | _ -> ()
+
+let on_iteration_outcome t event args =
+  match (arg_str args "algo", arg_int args "added", arg_int args "remaining") with
+  | Some algo, Some added, Some remaining ->
+    if added < 0 then
+      violate t ~invariant:"coverage-monotone" ~event
+        "%s iteration reports %d added edges" algo added;
+    if remaining >= 0 then begin
+      let s = state t algo in
+      (match s.last_remaining with
+      | Some prev when remaining > prev ->
+        violate t ~invariant:"coverage-monotone" ~event
+          "%s coverage regressed: %d uncovered after %d" algo remaining prev
+      | _ -> ());
+      s.last_remaining <- Some remaining
+    end
+  | _ -> ()
+
+let on_vote_audit t event args =
+  match
+    (arg_int args "edge", arg_int args "votes", arg_int args "ce",
+     arg_int args "divisor")
+  with
+  | Some edge, Some votes, Some ce, Some divisor ->
+    if divisor < 1 then
+      violate t ~invariant:"vote-threshold" ~event
+        "edge %d accepted with divisor %d < 1" edge divisor
+    else if divisor * votes < ce then
+      violate t ~invariant:"vote-threshold" ~event
+        "edge %d accepted with %d votes < ceil(|Ce|/%d) = %d (|Ce| = %d)"
+        edge votes divisor ((ce + divisor - 1) / divisor) ce
+  | _ -> ()
+
+let on_rho_audit t event args =
+  match
+    (arg_str args "algo", arg_int args "edge", arg_int args "covered",
+     arg_int args "weight", arg_int args "level")
+  with
+  | Some algo, Some edge, Some covered, Some weight, Some level ->
+    if covered <= 0 then
+      violate t ~invariant:"rho-rounding" ~event
+        "%s committed edge %d that covers nothing (|Ce| = %d)" algo edge
+        covered
+    else begin
+      let expected = expected_level ~covered ~weight in
+      if level <> expected then
+        violate t ~invariant:"rho-rounding" ~event
+          "%s edge %d: level 2^%d is not the rounding of |Ce|/w = %d/%d \
+           (expected 2^%d)"
+          algo edge level covered weight expected
+    end
+  | _ -> ()
+
+let on_probability_doubling t event args =
+  match
+    (arg_str args "algo", arg_int args "p_exp", arg_int args "phase",
+     arg_bool args "reset")
+  with
+  | Some algo, Some p_exp, Some phase, Some reset ->
+    let s = state t algo in
+    if p_exp < 0 then
+      violate t ~invariant:"probability-schedule" ~event
+        "%s activation probability 2^-%d exceeds 1" algo p_exp;
+    if s.last_phase > 0 && phase <> s.last_phase + 1 then
+      violate t ~invariant:"probability-schedule" ~event
+        "%s phase jumped %d -> %d" algo s.last_phase phase;
+    (match (reset, s.last_p_exp) with
+    | false, Some prev when p_exp <> prev - 1 ->
+      violate t ~invariant:"probability-schedule" ~event
+        "%s probability step 2^-%d -> 2^-%d is not a doubling" algo prev
+        p_exp
+    | false, None ->
+      violate t ~invariant:"probability-schedule" ~event
+        "%s doubling step before any schedule reset" algo
+    | _ -> ());
+    s.last_p_exp <- Some p_exp;
+    s.last_phase <- phase
+  | _ -> ()
+
+let observe t (e : Trace.event) =
+  t.n_events <- t.n_events + 1;
+  match (e.Trace.kind, e.Trace.name) with
+  | Trace.Instant, "instance size" -> on_instance_size t e e.Trace.args
+  | Trace.Instant, "iteration outcome" -> on_iteration_outcome t e e.Trace.args
+  | Trace.Instant, "vote audit" -> on_vote_audit t e e.Trace.args
+  | Trace.Instant, "rho audit" -> on_rho_audit t e e.Trace.args
+  | Trace.Instant, "probability doubling" ->
+    on_probability_doubling t e e.Trace.args
+  | Trace.Span_begin, name -> on_iteration_begin t e name e.Trace.args
+  | _ -> ()
+
+let attach t trace = Trace.subscribe trace (observe t)
+let check_all t events = List.iter (observe t) events
+let violations t = List.rev t.violations_rev
+let ok t = t.n_violations = 0
+let events_seen t = t.n_events
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] @[%s@] (event %S at round %.0f)" v.invariant
+    v.detail v.event.Trace.name v.event.Trace.ts
+
+let pp_report ppf t =
+  if ok t then
+    Format.fprintf ppf "monitor: all invariants hold over %d events"
+      t.n_events
+  else begin
+    Format.fprintf ppf "@[<v>monitor: %d invariant violation%s over %d events"
+      t.n_violations
+      (if t.n_violations = 1 then "" else "s")
+      t.n_events;
+    List.iter
+      (fun v -> Format.fprintf ppf "@,  %a" pp_violation v)
+      (violations t);
+    Format.fprintf ppf "@]"
+  end
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun v ->
+         Json.Obj
+           [
+             ("invariant", Json.Str v.invariant);
+             ("detail", Json.Str v.detail);
+             ("event", Json.Str v.event.Trace.name);
+             ("ts", Json.Float v.event.Trace.ts);
+           ])
+       (violations t))

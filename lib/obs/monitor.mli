@@ -1,0 +1,71 @@
+(** Online invariant monitor for the solver event stream.
+
+    The monitor subscribes to a recording {!Trace} ({!attach}) and checks,
+    as events arrive, that the run obeys the paper's guarantees:
+
+    - {b coverage-monotone}: the [remaining] count of
+      [Events.iteration_end] never increases within one augmentation run
+      (covered tree edges / cuts are never un-covered), and [added] is
+      never negative;
+    - {b vote-threshold}: every accepted TAP candidate reported by
+      [Events.vote_audit] received at least ⌈|Ce|/divisor⌉ votes
+      (§3 line 5);
+    - {b rho-rounding}: every committed edge's rounded cost-effectiveness
+      reported by [Events.rho_audit] is the exponent of the smallest
+      power of two strictly greater than |Ce|/w (§2.1) — re-derived here
+      independently of [Cost.level];
+    - {b probability-schedule}: Aug_k / 3-ECSS activation probabilities
+      follow the doubling schedule (§4): the exponent only ever steps
+      down by exactly one, stays non-negative, or resets upward at a
+      level change, and phases count up by one;
+    - {b iteration-bound}: iteration indices stay within the explicit
+      finite-size bounds behind the O(log² n) (TAP) and O(log³ n)
+      (Aug_k, 3-ECSS) iteration counts, using the instance size from
+      [Events.instance_size]: 64·⌈log₂(n+1)⌉² + 200 + n for TAP and
+      20·⌈log₂(n+1)⌉³ + 500 + n for the schedule-driven loops (the
+      solver defaults plus the unconditional-termination slack).
+
+    Each failed check is recorded as a {!violation} carrying the
+    offending event. Monitoring is passive: it never raises, never
+    consumes randomness, and unknown or malformed events are ignored, so
+    a monitored run computes exactly what an unmonitored one does. *)
+
+type violation = {
+  invariant : string;  (** one of the check names above *)
+  detail : string;     (** human-readable description of the failure *)
+  event : Trace.event; (** the offending event *)
+}
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Trace.t -> unit
+(** Subscribe to every event the trace records from now on
+    ({!Trace.subscribe}). The trace must be a recording trace; attaching
+    to {!Trace.noop} observes nothing. *)
+
+val observe : t -> Trace.event -> unit
+(** Feed one event by hand (what {!attach} wires up). Exposed for
+    checking pre-recorded streams. *)
+
+val check_all : t -> Trace.event list -> unit
+(** [observe] each event in order — audit a completed trace. *)
+
+val violations : t -> violation list
+(** All recorded violations, in detection order. *)
+
+val ok : t -> bool
+(** No violations so far. *)
+
+val events_seen : t -> int
+(** Total events observed (monitored-coverage sanity for tests). *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_report : Format.formatter -> t -> unit
+(** One line per violation plus a summary tail; prints a clean
+    "all invariants hold" line when {!ok}. *)
+
+val to_json : t -> Json.t
+(** The violation list, for embedding in audit records. *)

@@ -19,6 +19,7 @@ type recording = {
   mutable events_rev : event list;
   mutable n_events : int;
   counters : (string, int) Hashtbl.t;
+  mutable subscribers : (event -> unit) list; (* in subscription order *)
 }
 
 type t = Noop | Recording of recording
@@ -33,7 +34,13 @@ let create () =
       events_rev = [];
       n_events = 0;
       counters = Hashtbl.create 16;
+      subscribers = [];
     }
+
+let subscribe t f =
+  match t with
+  | Noop -> ()
+  | Recording r -> r.subscribers <- r.subscribers @ [ f ]
 
 let enabled = function Noop -> false | Recording _ -> true
 let now = function Noop -> 0.0 | Recording r -> r.clock
@@ -42,8 +49,12 @@ let advance t dt =
   match t with Noop -> () | Recording r -> r.clock <- r.clock +. dt
 
 let emit r kind name ts args =
-  r.events_rev <- { kind; name; ts; args } :: r.events_rev;
-  r.n_events <- r.n_events + 1
+  let e = { kind; name; ts; args } in
+  r.events_rev <- e :: r.events_rev;
+  r.n_events <- r.n_events + 1;
+  match r.subscribers with
+  | [] -> ()
+  | subs -> List.iter (fun f -> f e) subs
 
 let begin_span t ?(args = []) name =
   match t with

@@ -36,6 +36,13 @@ val noop : t
 val create : unit -> t
 (** A fresh recording trace with clock 0. *)
 
+val subscribe : t -> (event -> unit) -> unit
+(** [subscribe t f] registers [f] to be called on every event at the
+    moment it is recorded — the hook online consumers (e.g.
+    {!Monitor}) attach through. Subscribers run synchronously in
+    subscription order and must not emit into [t] themselves. No-op on
+    {!noop}. *)
+
 val enabled : t -> bool
 
 val now : t -> float

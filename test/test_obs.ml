@@ -260,6 +260,101 @@ let test_json_check () =
         (Json.Obj
            [ ("x", Json.Float nan); ("y", Json.List [ Json.Int 1 ]) ]))
 
+(* ------------------------------------------------------------------ *)
+(* Json parser                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_parse_units () =
+  let p = Json.parse in
+  check_is "int" (p "42" = Ok (Json.Int 42));
+  check_is "negative int" (p " -7 " = Ok (Json.Int (-7)));
+  check_is "dot makes a float" (p "2.0" = Ok (Json.Float 2.0));
+  check_is "exponent makes a float" (p "1e3" = Ok (Json.Float 1000.0));
+  (match p "99999999999999999999999" with
+  | Ok (Json.Float _) -> ()
+  | _ -> Alcotest.fail "out-of-range integer should widen to Float");
+  check_is "escapes" (p "\"a\\n\\t\\\\\\\"b\"" = Ok (Json.Str "a\n\t\\\"b"));
+  check_is "\\u ascii" (p "\"\\u0041\"" = Ok (Json.Str "A"));
+  check_is "\\u control" (p "\"\\u0001\"" = Ok (Json.Str "\x01"));
+  check_is "\\u two-byte" (p "\"\\u00e9\"" = Ok (Json.Str "\xc3\xa9"));
+  check_is "\\u three-byte" (p "\"\\u20ac\"" = Ok (Json.Str "\xe2\x82\xac"));
+  check_is "surrogate pair"
+    (p "\"\\ud83d\\ude00\"" = Ok (Json.Str "\xf0\x9f\x98\x80"));
+  check_is "lone high surrogate -> U+FFFD"
+    (p "\"\\ud800\"" = Ok (Json.Str "\xef\xbf\xbd"));
+  check_is "lone low surrogate -> U+FFFD"
+    (p "\"\\udc00x\"" = Ok (Json.Str "\xef\xbf\xbdx"));
+  check_is "raw control char rejected" (Result.is_error (p "\"\x01\""));
+  check_is "field order and duplicates preserved"
+    (p "{\"a\":1,\"b\":2,\"a\":3}"
+    = Ok (Json.Obj [ ("a", Json.Int 1); ("b", Json.Int 2); ("a", Json.Int 3) ]));
+  (* accessors *)
+  (match p "{\"a\":1,\"b\":2.5,\"c\":\"x\",\"a\":9}" with
+  | Ok v ->
+    check_is "member first occurrence"
+      (Option.bind (Json.member "a" v) Json.to_int_opt = Some 1);
+    check_is "int widens to float"
+      (Option.bind (Json.member "a" v) Json.to_float_opt = Some 1.0);
+    check_is "float accessor"
+      (Option.bind (Json.member "b" v) Json.to_float_opt = Some 2.5);
+    check_is "string accessor"
+      (Option.bind (Json.member "c" v) Json.to_string_opt = Some "x");
+    check_is "missing member" (Json.member "z" v = None)
+  | Error e -> Alcotest.fail e);
+  (* deep nesting *)
+  let depth = 500 in
+  let deep =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "0"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  let rec unwrap d v =
+    match v with
+    | Json.List [ inner ] -> unwrap (d + 1) inner
+    | Json.Int 0 -> check_int "nesting depth survives" depth d
+    | _ -> Alcotest.fail "unexpected shape in deep array"
+  in
+  (match p deep with
+  | Ok v -> unwrap 0 v
+  | Error e -> Alcotest.fail ("deep nesting: " ^ e))
+
+(* seeded random value trees; floats restricted to non-integer dyadic
+   rationals (2k+1)/16 so the "%.12g" rendering reparses exactly and the
+   Int/Float distinction is preserved *)
+let rec gen_value st depth =
+  match Random.State.int st (if depth = 0 then 5 else 7) with
+  | 0 -> Json.Null
+  | 1 -> Json.Bool (Random.State.bool st)
+  | 2 -> Json.Int (Random.State.int st 2_000_001 - 1_000_000)
+  | 3 ->
+    let k = Random.State.int st 2001 - 1000 in
+    Json.Float (float_of_int ((2 * k) + 1) /. 16.0)
+  | 4 ->
+    Json.Str
+      (String.init (Random.State.int st 12) (fun _ ->
+           Char.chr (Random.State.int st 256)))
+  | 5 ->
+    Json.List
+      (List.init (Random.State.int st 4) (fun _ -> gen_value st (depth - 1)))
+  | _ ->
+    Json.Obj
+      (List.init (Random.State.int st 4) (fun i ->
+           ( Printf.sprintf "k%d_%d" i (Random.State.int st 100),
+             gen_value st (depth - 1) )))
+
+let test_json_roundtrip_property () =
+  let st = Random.State.make [| 0xC0FFEE; 2024 |] in
+  for i = 1 to 300 do
+    let v = gen_value st 4 in
+    let s = Json.to_string v in
+    match Json.parse s with
+    | Ok v' ->
+      if v' <> v then
+        Alcotest.fail
+          (Printf.sprintf "iteration %d: %s does not reparse to itself" i s)
+    | Error e -> Alcotest.fail (Printf.sprintf "iteration %d: %s: %s" i s e)
+  done
+
 let () =
   Alcotest.run "obs"
     [
@@ -279,6 +374,11 @@ let () =
           case "jsonl well-formed" test_jsonl_wellformed;
           case "chrome well-formed" test_chrome_wellformed;
           case "json validator" test_json_check;
+        ] );
+      ( "json-parse",
+        [
+          case "parse unit cases" test_json_parse_units;
+          case "round-trip property" test_json_roundtrip_property;
         ] );
       ( "metrics",
         [
