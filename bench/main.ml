@@ -166,6 +166,65 @@ let run_micro () =
   timed
 
 (* ------------------------------------------------------------------ *)
+(* resilience table                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* every representative solution goes through the k−1-failure harness
+   (lib/faults): a verified k-ECSS must read SURVIVES at 100% — anything
+   else is a soundness regression, not a performance one *)
+let run_resilience_table () =
+  let module R = Kecss_faults.Resilience in
+  let cases =
+    [
+      ( "ecss2-n64", 2,
+        fun () ->
+          let g = W.weighted_random ~n:64 ~k:2 in
+          (g, (Ecss2.solve ~seed:1 g).Ecss2.solution) );
+      ( "kecss-n32-k3", 3,
+        fun () ->
+          let g = W.weighted_random ~n:32 ~k:3 in
+          (g, (Kecss.solve ~seed:1 g ~k:3).Kecss.solution) );
+      ( "ecss3-n64", 3,
+        fun () ->
+          let g = W.unweighted_low_d ~n:64 in
+          (g, (Ecss3.solve ~seed:1 g).Ecss3.solution) );
+      ( "thurimella-n64-k3", 3,
+        fun () ->
+          let g = W.unweighted_low_d ~n:64 in
+          ( g,
+            (Kecss_baselines.Thurimella.sparse_certificate (Rng.create ~seed:1)
+               g ~k:3)
+              .Kecss_baselines.Thurimella.solution ) );
+      ( "mst-as-2ecss-n64", 2,
+        (* deliberately under-connected: a spanning tree claimed as a
+           2-ECSS keeps the harness honest — it must find a witness *)
+        fun () ->
+          let g = W.weighted_random ~n:64 ~k:2 in
+          (g, Kecss_baselines.Greedy.kecss g ~k:1) );
+    ]
+  in
+  print_newline ();
+  print_endline "################ R-resilience — k-1-failure survival";
+  print_endline
+    "# lib/faults harness over the representative solutions; tree row must \
+     be KILLED";
+  print_newline ();
+  Printf.printf "%-20s %2s %3s %7s %9s %9s  %s\n" "solution" "k" "λ" "margin"
+    "survival" "resid. λ" "verdict";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (name, k, make) ->
+      let g, h = make () in
+      let r = R.attack ~trials:32 ~rng:(Rng.create ~seed:7) g ~h ~k in
+      Printf.printf "%-20s %2d %3d %7d %8.1f%% %9d  %s\n" name k
+        r.R.lambda r.R.margin
+        (100.0 *. r.R.survival_rate)
+        r.R.worst_residual_lambda
+        (if R.ok r then "SURVIVES" else "KILLED"))
+    cases;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
 (* metrics JSON                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -339,7 +398,8 @@ let () =
               exit 2)
           ids
     in
-    List.iter (fun e -> ignore (E.run_and_print e)) targets
+    List.iter (fun e -> ignore (E.run_and_print e)) targets;
+    run_resilience_table ()
   end;
   let micro_rows =
     if (not o.no_micro) || o.micro_only then run_micro () else []

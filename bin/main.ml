@@ -5,8 +5,13 @@
      solve       run one of the paper's algorithms on a graph file
      verify      check that an edge set is a k-ECSS of a graph
      audit       solve + verify + baselines + invariant monitor, as one record
+     resilience  solve, then attack the solution with ≤ k−1 edge failures
      experiment  run experiments from the reproduction suite
-     info        print structural facts about a graph *)
+     info        print structural facts about a graph
+
+   solve and experiment additionally accept --faults PLAN, which injects
+   adversarial engine faults (message drops/delays/duplications, vertex
+   crash-stops, edge failures) into every CONGEST execution of the run. *)
 
 open Cmdliner
 open Kecss_graph
@@ -69,6 +74,55 @@ let monitor_arg =
     value
     & opt ~vopt:(Some `Warn) (some mode) None
     & info [ "monitor" ] ~docv:"MODE" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* fault-plan plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let faults_arg =
+  let doc =
+    "Inject adversarial engine faults during the run, described by the \
+     compact plan $(docv), e.g. \
+     $(b,drop=0.05,delay=0.1:3,dup=0.02,crash=v17@r40,cut=e3@r0,seed=7): \
+     per-message Bernoulli drops/delays/duplications plus scheduled vertex \
+     crash-stops and edge failures, all derived deterministically from the \
+     plan's seed. Injections are recorded as 'fault injected' trace events \
+     and the invariant monitor attributes any downstream anomaly to them."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+
+let parse_faults = function
+  | None -> Ok None
+  | Some spec -> (
+    match Kecss_faults.Plan.of_spec spec with
+    | Ok plan -> Ok (Some plan)
+    | Error msg -> Error ("bad fault plan: " ^ msg))
+
+(* the injector shared by every engine run of the command; stats go to
+   stderr at the end so a degraded result is explainable *)
+let make_injector trace = function
+  | None -> None
+  | Some plan -> Some (Kecss_faults.Net.injector ~trace plan)
+
+let injector_hook = Option.map Kecss_faults.Net.hook
+
+let report_faults = function
+  | None -> ()
+  | Some inj ->
+    Format.eprintf "faults: %a over %d engine rounds@."
+      Kecss_faults.Net.pp_stats
+      (Kecss_faults.Net.stats inj)
+      (Kecss_faults.Net.rounds_seen inj)
+
+let stalled_error inj ~rounds ~active ~in_flight =
+  Format.eprintf
+    "stalled: no quiescence after %d engine rounds (%d vertices active, %d \
+     messages in flight)@."
+    rounds active in_flight;
+  report_faults inj;
+  Printf.sprintf
+    "solver stalled under the fault plan (rounds=%d active=%d in_flight=%d)"
+    rounds active in_flight
 
 (* [--trace] implies metric collection: the counter tracks come from the
    metrics hooks inside the engine. [--monitor] needs a recording trace to
@@ -225,14 +279,40 @@ let run_algo ledger ~algo ~k ~seed g =
     | None -> failwith "graph is not k-edge-connected")
   | a -> failwith ("unknown algorithm: " ^ a)
 
-let solve path algo k seed quiet trace_path metrics_on monitor_mode =
+let solve path algo k seed quiet faults trace_path metrics_on monitor_mode =
+  match parse_faults faults with
+  | Error msg -> `Error (false, msg)
+  | Ok plan ->
   match read_graph path with
   | exception Sys_error msg -> `Error (false, "cannot read graph: " ^ msg)
   | g ->
   let trace, metrics, monitor = make_sinks trace_path metrics_on monitor_mode in
-  let ledger = Kecss_congest.Rounds.create ~trace ~metrics () in
+  let injector = make_injector trace plan in
+  let ledger =
+    Kecss_congest.Rounds.create ~trace ~metrics
+      ?hook:(injector_hook injector) ()
+  in
+  (* even when faults kill the run, flush telemetry and the monitor report:
+     the point of a fault campaign is to inspect exactly these artifacts *)
+  let flush_on_fault () =
+    (try flush_sinks trace_path metrics_on trace metrics (Some ledger)
+     with Sys_error _ -> ());
+    ignore (monitor_verdict monitor_mode monitor)
+  in
   match run_algo ledger ~algo ~k ~seed g with
   | exception Failure msg -> `Error (false, msg)
+  | exception Kecss_congest.Network.Did_not_quiesce { rounds; active; in_flight }
+    ->
+    let msg = stalled_error injector ~rounds ~active ~in_flight in
+    flush_on_fault ();
+    `Error (false, msg)
+  | exception e when Option.is_some injector ->
+    (* faults can starve downstream deterministic phases of structure they
+       assume (a parent edge, a fragment invariant); under a fault plan
+       any failure is the campaign's doing, so report it structurally *)
+    report_faults injector;
+    flush_on_fault ();
+    `Error (false, "solver failed under the fault plan: " ^ Printexc.to_string e)
   | k, sol, rounds ->
   match flush_sinks trace_path metrics_on trace metrics (Some ledger) with
   | exception Sys_error msg -> `Error (false, "cannot write trace: " ^ msg)
@@ -242,7 +322,8 @@ let solve path algo k seed quiet trace_path metrics_on monitor_mode =
       Format.eprintf "%a@." Verify.pp_report report;
       (match rounds with
       | Some r -> Format.eprintf "simulated rounds: %d@." r
-      | None -> ())
+      | None -> ());
+      report_faults injector
     end;
     print_solution g sol;
     match monitor_verdict monitor_mode monitor with
@@ -265,8 +346,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Compute an approximate minimum k-ECSS.")
     Term.(
       ret
-        (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ quiet $ trace_arg
-       $ metrics_arg $ monitor_arg))
+        (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ quiet $ faults_arg
+       $ trace_arg $ metrics_arg $ monitor_arg))
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -434,27 +515,35 @@ let audit_cmd =
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let experiment ids list_only trace_path metrics_on monitor_mode =
+let experiment ids list_only faults trace_path metrics_on monitor_mode =
   let module E = Kecss_experiments.Experiments in
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-14s %s\n" e.E.id e.E.title) E.all;
     `Ok ()
   end
   else begin
+    match parse_faults faults with
+    | Error msg -> `Error (false, msg)
+    | Ok plan ->
     let trace, metrics, monitor =
       make_sinks trace_path metrics_on monitor_mode
     in
+    let injector = make_injector trace plan in
     (* route every ledger the suite creates into the shared sinks, so the
        exported trace covers the whole run; with the monitor alone the
        snapshot tables keep their own per-experiment metrics, as the
-       default factory gives them *)
-    if trace_path <> None || metrics_on || monitor_mode <> None then
+       default factory gives them. A fault injector is likewise shared, so
+       scheduled crash/cut rounds are on the suite's cumulative clock *)
+    if trace_path <> None || metrics_on || monitor_mode <> None
+       || Option.is_some injector
+    then
       E.set_ledger_factory (fun () ->
           let metrics =
             if metrics_on || trace_path <> None then metrics
             else Kecss_obs.Metrics.create ()
           in
-          Kecss_congest.Rounds.create ~trace ~metrics ());
+          Kecss_congest.Rounds.create ~trace ~metrics
+            ?hook:(injector_hook injector) ());
     match
       let targets =
         match ids with
@@ -470,7 +559,11 @@ let experiment ids list_only trace_path metrics_on monitor_mode =
       List.iter (fun e -> ignore (E.run_and_print e)) targets
     with
     | exception Failure msg -> `Error (false, msg)
+    | exception Kecss_congest.Network.Did_not_quiesce
+        { rounds; active; in_flight } ->
+      `Error (false, stalled_error injector ~rounds ~active ~in_flight)
     | () ->
+      report_faults injector;
       (* the trace-write handler brackets only the flush, mirroring `solve`:
          a Sys_error raised by the experiments themselves must not be
          reported as a trace-file problem *)
@@ -493,8 +586,114 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run reproduction experiments.")
     Term.(
       ret
-        (const experiment $ ids $ list_only $ trace_arg $ metrics_arg
-       $ monitor_arg))
+        (const experiment $ ids $ list_only $ faults_arg $ trace_arg
+       $ metrics_arg $ monitor_arg))
+
+(* ------------------------------------------------------------------ *)
+(* resilience                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let resilience path algo sol_path k seed trials json_out strict =
+  match read_graph path with
+  | exception Sys_error msg -> `Error (false, "cannot read graph: " ^ msg)
+  | g ->
+  let obtain =
+    match sol_path with
+    | Some sp -> (
+      match read_graph sp with
+      | exception Sys_error msg -> Error ("cannot read solution: " ^ msg)
+      | sol ->
+        (* re-identify the solution's edges inside g, as `verify` does *)
+        let mask = Graph.no_edges_mask g in
+        let missing = ref 0 in
+        Graph.iter_edges
+          (fun e ->
+            match Graph.find_edge g e.Graph.u e.Graph.v with
+            | Some id -> Bitset.add mask id
+            | None -> incr missing)
+          sol;
+        if !missing > 0 then
+          Error
+            (Printf.sprintf "%d solution edges are not in the graph" !missing)
+        else Ok (k, mask))
+    | None -> (
+      let ledger = Kecss_congest.Rounds.create () in
+      match run_algo ledger ~algo ~k ~seed g with
+      | exception Failure msg -> Error msg
+      | k, sol, _rounds -> Ok (k, sol))
+  in
+  match obtain with
+  | Error msg -> `Error (false, msg)
+  | Ok (k, h) ->
+    let rng = Rng.create ~seed in
+    let rep = Kecss_faults.Resilience.attack ~trials ~rng g ~h ~k in
+    match
+      match json_out with
+      | Some "-" ->
+        print_endline
+          (Kecss_obs.Json.to_string (Kecss_faults.Resilience.to_json rep))
+      | Some p ->
+        let oc = open_out p in
+        output_string oc
+          (Kecss_obs.Json.to_string (Kecss_faults.Resilience.to_json rep));
+        output_char oc '\n';
+        close_out oc
+      | None -> Format.printf "%a@." Kecss_faults.Resilience.pp rep
+    with
+    | exception Sys_error msg -> `Error (false, "cannot write report: " ^ msg)
+    | () ->
+      if strict && not (Kecss_faults.Resilience.ok rep) then
+        `Error
+          ( false,
+            "resilience: a disconnecting failure set within the k-1 budget \
+             exists" )
+      else `Ok ()
+
+let resilience_cmd =
+  let algo =
+    let doc =
+      "Algorithm whose output to attack: 2ecss, kecss, 3ecss-unweighted, \
+       3ecss-weighted, ftmst, thurimella, greedy, exact. Ignored when \
+       $(b,--solution) is given."
+    in
+    Arg.(value & opt string "2ecss" & info [ "algorithm"; "a" ] ~doc)
+  in
+  let sol =
+    let doc =
+      "Attack this solution edge list (kecss format) instead of running an \
+       algorithm first."
+    in
+    Arg.(value & opt (some string) None & info [ "solution" ] ~docv:"FILE" ~doc)
+  in
+  let trials =
+    let doc = "Random (k-1)-edge failure sets to sample." in
+    Arg.(value & opt int 64 & info [ "trials" ] ~doc)
+  in
+  let json_out =
+    let doc =
+      "Write the kecss-resilience/1 report as JSON to $(docv) (- for stdout)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let strict =
+    let doc =
+      "Exit non-zero if any disconnecting failure set within the k-1 budget \
+       is found."
+    in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Attack a k-ECSS solution with up to k-1 edge failures: cut-guided \
+          witness search (bridges, exhaustive enumeration or seeded Karger \
+          contraction) plus seeded random failure sampling, reporting the \
+          survival rate, worst residual connectivity and the failure margin \
+          lambda - (k-1). A Verify-passing solution must survive everything.")
+    Term.(
+      ret
+        (const resilience $ graph_arg $ algo $ sol $ k_arg $ seed_arg $ trials
+       $ json_out $ strict))
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)
@@ -522,6 +721,18 @@ let info_run path =
       du.(far du)
     end
   in
+  (* λ ≤ min degree, so min degree is both a feasibility cap on k and the
+     early-exit ceiling that keeps the exact λ computation affordable *)
+  let min_deg =
+    if n = 0 then 0
+    else begin
+      let d = ref max_int in
+      for v = 0 to n - 1 do
+        d := min !d (Graph.degree g v)
+      done;
+      !d
+    end
+  in
   let structure =
     [
       [ Kecss_obs.Export.S "vertices"; Kecss_obs.Export.I n ];
@@ -529,6 +740,8 @@ let info_run path =
       [ Kecss_obs.Export.S "total weight"; Kecss_obs.Export.I (Graph.total_weight g) ];
       [ Kecss_obs.Export.S "max weight"; Kecss_obs.Export.I (Graph.max_weight g) ];
       [ Kecss_obs.Export.S "components"; Kecss_obs.Export.I (Graph.num_components g) ];
+      [ Kecss_obs.Export.S "min degree (caps λ and feasible k)";
+        Kecss_obs.Export.I min_deg ];
     ]
     @ (if not connected then []
        else
@@ -538,10 +751,14 @@ let info_run path =
                [
                  [ Kecss_obs.Export.S "diameter (exact)";
                    Kecss_obs.Export.I (Graph.diameter g) ];
-                 [ Kecss_obs.Export.S "edge connectivity";
-                   Kecss_obs.Export.I (Edge_connectivity.lambda g) ];
                ]
-             else []))
+             else [])
+         @ (if n <= 2048 then
+              [
+                [ Kecss_obs.Export.S "edge connectivity λ";
+                  Kecss_obs.Export.I (Edge_connectivity.lambda ~upper:min_deg g) ];
+              ]
+            else []))
   in
   Kecss_obs.Export.table ppf ~title:"structure" ~columns:[ "fact"; "value" ]
     structure;
@@ -584,6 +801,9 @@ let () =
   let main =
     Cmd.group
       (Cmd.info "kecss" ~version:"1.0.0" ~doc)
-      [ generate_cmd; solve_cmd; verify_cmd; audit_cmd; experiment_cmd; info_cmd ]
+      [
+        generate_cmd; solve_cmd; verify_cmd; audit_cmd; resilience_cmd;
+        experiment_cmd; info_cmd;
+      ]
   in
   exit (Cmd.eval main)

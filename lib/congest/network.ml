@@ -12,13 +12,21 @@ let cap_words = 6
 type send = { edge : int; payload : int array }
 type 'a inbox = (int * 'a) list
 
+type fate = Deliver | Drop | Replicate of int | Postpone of int
+
+type hook = {
+  round_begin : round:int -> unit;
+  alive : round:int -> int -> bool;
+  fate : round:int -> src:int -> edge:int -> fate;
+}
+
 type 's program = {
   init : int -> 's;
   step :
     round:int -> int -> 's -> int array inbox -> send list * [ `Active | `Idle ];
 }
 
-let run_counted ?(metrics = Metrics.noop) ?max_rounds g p =
+let run_counted ?(metrics = Metrics.noop) ?hook ?max_rounds g p =
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> (16 * n) + 10_000
@@ -30,6 +38,9 @@ let run_counted ?(metrics = Metrics.noop) ?max_rounds g p =
   let round = ref 0 in
   let counted = ref 0 in
   let messages = ref 0 in
+  (* deliveries whose injected delay has not yet elapsed:
+     (due pass, destination, edge, payload) *)
+  let delayed = ref [] in
   let observe = Metrics.enabled metrics in
   if observe then Metrics.run_begin metrics;
   let any_active () = Array.exists Fun.id active in
@@ -37,14 +48,26 @@ let run_counted ?(metrics = Metrics.noop) ?max_rounds g p =
     Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 active
   in
   while (!in_flight > 0 || any_active ()) && !round < max_rounds do
+    (match hook with Some h -> h.round_begin ~round:!round | None -> ());
     (* snapshot and clear inboxes, then step every vertex *)
     let delivered = inboxes in
     let next = Array.make n [] in
     let sent_this_round = Array.make n [] in
     for v = 0 to n - 1 do
-      let sends, status = p.step ~round:!round v states.(v) delivered.(v) in
-      active.(v) <- status = `Active;
-      sent_this_round.(v) <- sends
+      let live =
+        match hook with Some h -> h.alive ~round:!round v | None -> true
+      in
+      if live then begin
+        let sends, status = p.step ~round:!round v states.(v) delivered.(v) in
+        active.(v) <- status = `Active;
+        sent_this_round.(v) <- sends
+      end
+      else begin
+        (* crash-stop: the vertex neither steps nor sends, no longer wants
+           rounds, and its delivered messages are lost *)
+        active.(v) <- false;
+        sent_this_round.(v) <- []
+      end
     done;
     in_flight := 0;
     for v = 0 to n - 1 do
@@ -56,12 +79,46 @@ let run_counted ?(metrics = Metrics.noop) ?max_rounds g p =
           if Hashtbl.mem used edge then raise (Duplicate_send { vertex = v; edge });
           Hashtbl.replace used edge ();
           let dst = Graph.other_end g edge v in
-          next.(dst) <- (edge, payload) :: next.(dst);
+          (* the sender spent its message budget whatever the network then
+             does with the copy: sends are counted before the hook rules *)
           if observe then Metrics.on_send metrics ~edge;
           incr messages;
-          incr in_flight)
+          let fate =
+            match hook with
+            | Some h -> h.fate ~round:!round ~src:v ~edge
+            | None -> Deliver
+          in
+          match fate with
+          | Drop -> ()
+          | Deliver ->
+            next.(dst) <- (edge, payload) :: next.(dst);
+            incr in_flight
+          | Replicate copies ->
+            for _ = 1 to max 1 copies do
+              next.(dst) <- (edge, payload) :: next.(dst);
+              incr in_flight
+            done
+          | Postpone extra when extra <= 0 ->
+            next.(dst) <- (edge, payload) :: next.(dst);
+            incr in_flight
+          | Postpone extra ->
+            delayed := (!round + 1 + extra, dst, edge, payload) :: !delayed)
         sent_this_round.(v)
     done;
+    if !delayed <> [] then begin
+      let due, future =
+        List.partition (fun (r, _, _, _) -> r <= !round + 1) !delayed
+      in
+      List.iter
+        (fun (_, dst, edge, payload) ->
+          next.(dst) <- (edge, payload) :: next.(dst);
+          incr in_flight)
+        due;
+      delayed := future;
+      (* a postponed message is still in flight: it must keep the engine
+         from declaring quiescence until it lands *)
+      in_flight := !in_flight + List.length future
+    end;
     Array.blit next 0 inboxes 0 n;
     incr round;
     (* In the synchronous model a vertex receives, at the end of round r,

@@ -36,6 +36,34 @@ type send = { edge : int; payload : int array }
 type 'a inbox = (int * 'a) list
 (** Received messages as [(edge_id, payload)] pairs, in arbitrary order. *)
 
+type fate = Deliver | Drop | Replicate of int | Postpone of int
+(** What the network does with one sent message: deliver it normally, lose
+    it, deliver [Replicate n] copies ([n >= 1]; the inbox sees [n]
+    entries), or deliver it [Postpone d] rounds late ([d <= 0] delivers
+    normally). *)
+
+type hook = {
+  round_begin : round:int -> unit;
+      (** Called once at the top of every engine pass, before any vertex
+          steps — lets an interposer keep a global round clock across the
+          many engine runs of one solve. *)
+  alive : round:int -> int -> bool;
+      (** [alive ~round v]: may vertex [v] still participate? A dead
+          vertex is crash-stopped: its step is skipped, it sends nothing,
+          counts as idle, and its delivered messages are lost. Called for
+          every vertex in every pass. *)
+  fate : round:int -> src:int -> edge:int -> fate;
+      (** Rules on each message the instant it is sent. The send has
+          already passed the size and duplicate checks and is counted in
+          the message total whatever the fate. *)
+}
+(** An interposition point between senders and the network fabric, used by
+    the fault-injection layer ([Kecss_faults.Net]) to model adversarial
+    message loss, delay, duplication, crash-stops and edge failures
+    without forking the engine. Absent (the default), the engine behaves
+    exactly as specified above and pays one [match] per vertex and per
+    message. *)
+
 type 's program = {
   init : int -> 's;
   (** [init v] builds vertex [v]'s initial state. It may inspect the graph
@@ -52,6 +80,7 @@ val run : ?max_rounds:int -> Graph.t -> 's program -> 's array * int
 
 val run_counted :
   ?metrics:Metrics.t ->
+  ?hook:hook ->
   ?max_rounds:int ->
   Graph.t ->
   's program ->
@@ -64,6 +93,12 @@ val run_counted :
     sample per counted round (messages sent, vertices active), cumulative
     per-edge congestion, and the run's quiescence round. With the default
     [Metrics.noop] the instrumentation reduces to one boolean test.
+
+    When [?hook] is given, every vertex step is gated by [hook.alive] and
+    every sent message by [hook.fate]; postponed messages stay in flight
+    (keeping the engine from quiescing) until their delay elapses. The
+    message total always counts sends, not deliveries, so it is
+    unaffected by drops and duplications.
     @raise Message_too_large on an oversized payload
     @raise Duplicate_send if a vertex sends twice on one edge in a round
     @raise Did_not_quiesce after [max_rounds] (default [16 * n + 10_000]). *)

@@ -33,7 +33,7 @@ let bfs_tree ledger g ~root =
           else ([], if st.joined then `Idle else `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) g program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) g program in
   Rounds.charge ledger ~category:"bfs" rounds;
   Rounds.charge_messages ledger ~category:"bfs" messages;
   let pe = Array.map (fun st -> st.parent_edge) states in
@@ -56,7 +56,7 @@ let exchange ledger g sends =
           end);
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) g program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) g program in
   Rounds.charge ledger ~category:"exchange" rounds;
   Rounds.charge_messages ledger ~category:"exchange" messages;
   Array.map (fun st -> st.got) states
@@ -99,7 +99,7 @@ let wave_up ledger (f : Forest.t) ~value =
           else ([], if st.fired then `Idle else `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) f.Forest.graph program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) f.Forest.graph program in
   Rounds.charge ledger ~category:"wave_up" rounds;
   Rounds.charge_messages ledger ~category:"wave_up" messages;
   Array.map (fun st -> st.value) states
@@ -133,7 +133,7 @@ let wave_down ledger (f : Forest.t) ~root_value ~derive =
             | _ -> ([], if st.have then `Idle else `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) f.Forest.graph program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) f.Forest.graph program in
   Rounds.charge ledger ~category:"wave_down" rounds;
   Rounds.charge_messages ledger ~category:"wave_down" messages;
   Array.map (fun st -> st.value) states
@@ -175,7 +175,7 @@ let down_pipeline ledger (f : Forest.t) ~emit =
           end);
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) f.Forest.graph program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) f.Forest.graph program in
   Rounds.charge ledger ~category:"down_pipeline" rounds;
   Rounds.charge_messages ledger ~category:"down_pipeline" messages;
   Array.map (fun st -> List.rev st.received) states
@@ -211,7 +211,7 @@ let edge_stream ledger g ~lengths =
           (sends, if more then `Active else `Idle));
     }
   in
-  let _, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) g program in
+  let _, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) g program in
   Rounds.charge ledger ~category:"edge_stream" rounds;
   Rounds.charge_messages ledger ~category:"edge_stream" messages
 
@@ -240,7 +240,7 @@ let walk_up ledger (f : Forest.t) ~sources =
           end);
     }
   in
-  let _, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) f.Forest.graph program in
+  let _, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) f.Forest.graph program in
   Rounds.charge ledger ~category:"walk_up" rounds;
   Rounds.charge_messages ledger ~category:"walk_up" messages
 
@@ -381,7 +381,7 @@ let up_pipeline_merge ledger (f : Forest.t) ~emit ~combine =
           else ([], `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) f.Forest.graph program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) f.Forest.graph program in
   Rounds.charge ledger ~category:"up_pipeline" rounds;
   Rounds.charge_messages ledger ~category:"up_pipeline" messages;
   Array.map (fun st -> List.rev st.results) states

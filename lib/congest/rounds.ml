@@ -8,9 +8,10 @@ type t = {
   message_categories : (string, int) Hashtbl.t;
   trace : Trace.t;
   metrics : Metrics.t;
+  hook : Network.hook option;
 }
 
-let create ?(trace = Trace.noop) ?(metrics = Metrics.noop) () =
+let create ?(trace = Trace.noop) ?(metrics = Metrics.noop) ?hook () =
   {
     total = 0;
     total_messages = 0;
@@ -19,10 +20,12 @@ let create ?(trace = Trace.noop) ?(metrics = Metrics.noop) () =
     message_categories = Hashtbl.create 16;
     trace;
     metrics;
+    hook;
   }
 
 let trace t = t.trace
 let metrics t = t.metrics
+let hook t = t.hook
 let subscribe t f = Trace.subscribe t.trace f
 
 let scoped_category t category =

@@ -18,7 +18,8 @@ open Kecss_obs
 
 type t
 
-val create : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+val create :
+  ?trace:Trace.t -> ?metrics:Metrics.t -> ?hook:Network.hook -> unit -> t
 
 val trace : t -> Trace.t
 (** The attached trace ([Trace.noop] unless one was passed at creation).
@@ -26,6 +27,11 @@ val trace : t -> Trace.t
 
 val metrics : t -> Metrics.t
 (** The attached engine-metrics collector (or [Metrics.noop]). *)
+
+val hook : t -> Network.hook option
+(** The attached engine interposition hook, if any. The primitives pass it
+    to every {!Network.run_counted} they execute, so a fault plan wired
+    into the ledger at creation reaches each engine run of a solve. *)
 
 val subscribe : t -> (Trace.event -> unit) -> unit
 (** [subscribe t f] registers [f] on the attached trace

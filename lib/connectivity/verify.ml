@@ -9,11 +9,11 @@ type report = {
   ok : bool;
 }
 
-let make_report g mask ~k ~weight_mask =
+let make_report ?cap g mask ~k ~weight_mask =
   let spanning = Graph.is_connected ~mask g in
+  let upper = match cap with None -> k + 1 | Some c -> max c k in
   let connectivity =
-    if not spanning then 0
-    else Edge_connectivity.lambda ~mask ~upper:(k + 1) g
+    if not spanning then 0 else Edge_connectivity.lambda ~mask ~upper g
   in
   {
     spanning;
@@ -24,12 +24,12 @@ let make_report g mask ~k ~weight_mask =
     ok = spanning && connectivity >= k;
   }
 
-let check_kecss g sol ~k = make_report g sol ~k ~weight_mask:sol
+let check_kecss ?cap g sol ~k = make_report ?cap g sol ~k ~weight_mask:sol
 
-let check_augmentation g ~h ~aug ~k =
+let check_augmentation ?cap g ~h ~aug ~k =
   let union = Bitset.copy h in
   Bitset.union_into union aug;
-  make_report g union ~k ~weight_mask:aug
+  make_report ?cap g union ~k ~weight_mask:aug
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -1,0 +1,145 @@
+open Kecss_graph
+open Kecss_obs
+open Kecss_congest
+
+type stats = {
+  dropped : int;
+  delayed : int;
+  duplicated : int;
+  crashed : int;
+  cut : int;
+}
+
+let no_faults = { dropped = 0; delayed = 0; duplicated = 0; crashed = 0; cut = 0 }
+
+let total s = s.dropped + s.delayed + s.duplicated + s.crashed + s.cut
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<h>%d injected (%d dropped, %d delayed, %d duplicated, %d crashed, %d \
+     cut)@]"
+    (total s) s.dropped s.delayed s.duplicated s.crashed s.cut
+
+let stats_to_json s =
+  Json.Obj
+    [
+      ("dropped", Json.Int s.dropped);
+      ("delayed", Json.Int s.delayed);
+      ("duplicated", Json.Int s.duplicated);
+      ("crashed", Json.Int s.crashed);
+      ("cut", Json.Int s.cut);
+    ]
+
+type injector = {
+  plan : Plan.t;
+  rng : Rng.t;
+  trace : Trace.t;
+  mutable passes : int; (* global engine passes; current round = passes - 1 *)
+  mutable dropped : int;
+  mutable delayed : int;
+  mutable duplicated : int;
+  crashed : (int, unit) Hashtbl.t; (* activated crash-stops *)
+  severed : (int, unit) Hashtbl.t; (* activated edge failures *)
+}
+
+let injector ?(trace = Trace.noop) plan =
+  {
+    plan;
+    rng = Rng.create ~seed:plan.Plan.seed;
+    trace;
+    passes = 0;
+    dropped = 0;
+    delayed = 0;
+    duplicated = 0;
+    crashed = Hashtbl.create 4;
+    severed = Hashtbl.create 4;
+  }
+
+let stats t =
+  {
+    dropped = t.dropped;
+    delayed = t.delayed;
+    duplicated = t.duplicated;
+    crashed = Hashtbl.length t.crashed;
+    cut = Hashtbl.length t.severed;
+  }
+
+let rounds_seen t = t.passes
+
+let now t = t.passes - 1
+
+let emit t ~kind ?(vertex = -1) ?(edge = -1) ?(amount = 0) () =
+  Events.fault_injected t.trace ~kind ~round:(now t) ~vertex ~edge ~amount
+
+(* activate due scheduled faults exactly once, in spec order *)
+let round_begin t ~round:_ =
+  t.passes <- t.passes + 1;
+  let g = now t in
+  List.iter
+    (fun (vertex, r) ->
+      if r <= g && not (Hashtbl.mem t.crashed vertex) then begin
+        Hashtbl.replace t.crashed vertex ();
+        emit t ~kind:"crash" ~vertex ()
+      end)
+    t.plan.Plan.crashes;
+  List.iter
+    (fun (edge, r) ->
+      if r <= g && not (Hashtbl.mem t.severed edge) then begin
+        Hashtbl.replace t.severed edge ();
+        emit t ~kind:"edge-cut" ~edge ()
+      end)
+    t.plan.Plan.cuts
+
+let alive t ~round:_ v = not (Hashtbl.mem t.crashed v)
+
+let fate t ~round:_ ~src:_ ~edge =
+  if Hashtbl.mem t.severed edge then begin
+    t.dropped <- t.dropped + 1;
+    emit t ~kind:"drop" ~edge ();
+    Network.Drop
+  end
+  else if t.plan.Plan.drop > 0.0 && Rng.bernoulli t.rng t.plan.Plan.drop
+  then begin
+    t.dropped <- t.dropped + 1;
+    emit t ~kind:"drop" ~edge ();
+    Network.Drop
+  end
+  else if
+    t.plan.Plan.duplicate > 0.0 && Rng.bernoulli t.rng t.plan.Plan.duplicate
+  then begin
+    t.duplicated <- t.duplicated + 1;
+    emit t ~kind:"duplicate" ~edge ~amount:2 ();
+    Network.Replicate 2
+  end
+  else if t.plan.Plan.delay_p > 0.0 && Rng.bernoulli t.rng t.plan.Plan.delay_p
+  then begin
+    let extra = 1 + Rng.int t.rng t.plan.Plan.delay_max in
+    t.delayed <- t.delayed + 1;
+    emit t ~kind:"delay" ~edge ~amount:extra ();
+    Network.Postpone extra
+  end
+  else Network.Deliver
+
+let hook t =
+  {
+    Network.round_begin = (fun ~round -> round_begin t ~round);
+    alive = (fun ~round v -> alive t ~round v);
+    fate = (fun ~round ~src ~edge -> fate t ~round ~src ~edge);
+  }
+
+type 's outcome =
+  | Quiesced of {
+      states : 's array;
+      rounds : int;
+      messages : int;
+      faults : stats;
+    }
+  | Stalled of { rounds : int; active : int; in_flight : int; faults : stats }
+
+let run_counted ?metrics ?max_rounds ?trace ~plan g p =
+  let inj = injector ?trace plan in
+  match Network.run_counted ?metrics ~hook:(hook inj) ?max_rounds g p with
+  | states, rounds, messages ->
+    Quiesced { states; rounds; messages; faults = stats inj }
+  | exception Network.Did_not_quiesce { rounds; active; in_flight } ->
+    Stalled { rounds; active; in_flight; faults = stats inj }

@@ -70,3 +70,11 @@ let mst_phase t ~part ~phase ~fragments =
 
 let repair t ~algo ~edge =
   instant t "repair" ~args:[ ("algo", Str algo); ("edge", Int edge) ]
+
+let fault_injected t ~kind ~round ~vertex ~edge ~amount =
+  instant t "fault injected"
+    ~args:
+      [
+        ("kind", Str kind); ("round", Int round); ("vertex", Int vertex);
+        ("edge", Int edge); ("amount", Int amount);
+      ]

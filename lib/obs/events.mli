@@ -63,3 +63,13 @@ val mst_phase : Trace.t -> part:int -> phase:int -> fragments:int -> unit
 
 val repair : Trace.t -> algo:string -> edge:int -> unit
 (** The exact-verification net added [edge] (a w.h.p.-rare event). *)
+
+val fault_injected :
+  Trace.t -> kind:string -> round:int -> vertex:int -> edge:int -> amount:int -> unit
+(** One fault injected by the fault layer ([Kecss_faults]) into the
+    engine: [kind] is ["drop"], ["delay"], ["duplicate"], ["crash"] or
+    ["edge-cut"]; [round] is the injector's global engine round; [vertex]
+    and [edge] identify the victim ([-1] when not applicable); [amount]
+    carries the delay in rounds or the copy count ([0] otherwise). The
+    {!Monitor} recognizes these events and accounts any anomaly that
+    follows them to the injection rather than to a solver bug. *)

@@ -17,6 +17,10 @@ type t = {
   mutable violations_rev : violation list;
   mutable n_violations : int;
   mutable n_events : int;
+  mutable anomalies_rev : violation list;
+  mutable n_anomalies : int;
+  mutable n_faults : int;
+  fault_kinds : (string, int) Hashtbl.t;
 }
 
 let create () =
@@ -25,6 +29,10 @@ let create () =
     violations_rev = [];
     n_violations = 0;
     n_events = 0;
+    anomalies_rev = [];
+    n_anomalies = 0;
+    n_faults = 0;
+    fault_kinds = Hashtbl.create 8;
   }
 
 let state t algo =
@@ -47,11 +55,22 @@ let reset_run s =
   s.last_p_exp <- None;
   s.last_phase <- 0
 
+(* A failed check after any injected fault is an {e anomaly} attributed to
+   the injection, not a violation: a faulty network voids the solvers'
+   invariant guarantees, and blaming the algorithm for them would make
+   every fault run "fail". On fault-free streams this is the identity. *)
 let violate t ~invariant ~event fmt =
   Printf.ksprintf
     (fun detail ->
-      t.violations_rev <- { invariant; detail; event } :: t.violations_rev;
-      t.n_violations <- t.n_violations + 1)
+      let entry = { invariant; detail; event } in
+      if t.n_faults > 0 then begin
+        t.anomalies_rev <- entry :: t.anomalies_rev;
+        t.n_anomalies <- t.n_anomalies + 1
+      end
+      else begin
+        t.violations_rev <- entry :: t.violations_rev;
+        t.n_violations <- t.n_violations + 1
+      end)
     fmt
 
 let arg_int args key =
@@ -193,9 +212,16 @@ let on_probability_doubling t event args =
     s.last_phase <- phase
   | _ -> ()
 
+let on_fault t args =
+  t.n_faults <- t.n_faults + 1;
+  let kind = Option.value ~default:"?" (arg_str args "kind") in
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.fault_kinds kind) in
+  Hashtbl.replace t.fault_kinds kind (prev + 1)
+
 let observe t (e : Trace.event) =
   t.n_events <- t.n_events + 1;
   match (e.Trace.kind, e.Trace.name) with
+  | Trace.Instant, "fault injected" -> on_fault t e.Trace.args
   | Trace.Instant, "instance size" -> on_instance_size t e e.Trace.args
   | Trace.Instant, "iteration outcome" -> on_iteration_outcome t e e.Trace.args
   | Trace.Instant, "vote audit" -> on_vote_audit t e e.Trace.args
@@ -208,22 +234,38 @@ let observe t (e : Trace.event) =
 let attach t trace = Trace.subscribe trace (observe t)
 let check_all t events = List.iter (observe t) events
 let violations t = List.rev t.violations_rev
+let anomalies t = List.rev t.anomalies_rev
 let ok t = t.n_violations = 0
 let events_seen t = t.n_events
+let faults_seen t = t.n_faults
+
+let faults_by_kind t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fault_kinds []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let pp_violation ppf v =
   Format.fprintf ppf "[%s] @[%s@] (event %S at round %.0f)" v.invariant
     v.detail v.event.Trace.name v.event.Trace.ts
 
+let pp_fault_tail ppf t =
+  if t.n_faults > 0 then begin
+    Format.fprintf ppf " (%d injected fault%s recognized" t.n_faults
+      (if t.n_faults = 1 then "" else "s");
+    if t.n_anomalies > 0 then
+      Format.fprintf ppf ", %d fault-attributed anomal%s" t.n_anomalies
+        (if t.n_anomalies = 1 then "y" else "ies");
+    Format.fprintf ppf ")"
+  end
+
 let pp_report ppf t =
   if ok t then
-    Format.fprintf ppf "monitor: all invariants hold over %d events"
-      t.n_events
+    Format.fprintf ppf "monitor: all invariants hold over %d events%a"
+      t.n_events pp_fault_tail t
   else begin
-    Format.fprintf ppf "@[<v>monitor: %d invariant violation%s over %d events"
+    Format.fprintf ppf "@[<v>monitor: %d invariant violation%s over %d events%a"
       t.n_violations
       (if t.n_violations = 1 then "" else "s")
-      t.n_events;
+      t.n_events pp_fault_tail t;
     List.iter
       (fun v -> Format.fprintf ppf "@,  %a" pp_violation v)
       (violations t);

@@ -28,7 +28,17 @@
     Each failed check is recorded as a {!violation} carrying the
     offending event. Monitoring is passive: it never raises, never
     consumes randomness, and unknown or malformed events are ignored, so
-    a monitored run computes exactly what an unmonitored one does. *)
+    a monitored run computes exactly what an unmonitored one does.
+
+    {b Fault attribution.} The fault-injection layer ([Kecss_faults])
+    marks every injected fault with an [Events.fault_injected] event. The
+    monitor counts these separately ({!faults_seen},
+    {!faults_by_kind}); once any fault has been injected, subsequent
+    failed checks are recorded as {!anomalies} attributed to the
+    injection instead of {!violations} — a faulty network voids the
+    solver guarantees, so flagging them as algorithm bugs would be a
+    misattribution. On fault-free streams nothing changes and {!ok}
+    retains its strict meaning. *)
 
 type violation = {
   invariant : string;  (** one of the check names above *)
@@ -55,11 +65,22 @@ val check_all : t -> Trace.event list -> unit
 val violations : t -> violation list
 (** All recorded violations, in detection order. *)
 
+val anomalies : t -> violation list
+(** Failed checks observed {e after} at least one injected fault, in
+    detection order — attributed to the injection, not the algorithms,
+    and never counted by {!ok}. *)
+
 val ok : t -> bool
-(** No violations so far. *)
+(** No violations so far (fault-attributed {!anomalies} do not count). *)
 
 val events_seen : t -> int
 (** Total events observed (monitored-coverage sanity for tests). *)
+
+val faults_seen : t -> int
+(** Total [fault injected] events recognized. *)
+
+val faults_by_kind : t -> (string * int) list
+(** Injected-fault tally by kind, sorted by kind name. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 

@@ -43,7 +43,9 @@ let engine_tests =
           }
         in
         (match Network.run g p with
-        | exception Network.Message_too_large _ -> ()
+        | exception Network.Message_too_large { vertex; words } ->
+          check_int "offending vertex" 0 vertex;
+          check_int "reported size" (Network.cap_words + 1) words
         | _ -> Alcotest.fail "expected Message_too_large"));
     case "duplicate send rejected" (fun () ->
         let g = Gen.path 2 in
@@ -62,7 +64,9 @@ let engine_tests =
           }
         in
         (match Network.run g p with
-        | exception Network.Duplicate_send _ -> ()
+        | exception Network.Duplicate_send { vertex; edge } ->
+          check_int "offending vertex" 0 vertex;
+          check_int "contested edge" 0 edge
         | _ -> Alcotest.fail "expected Duplicate_send"));
     case "non-quiescing program detected" (fun () ->
         let g = Gen.path 2 in
@@ -70,7 +74,30 @@ let engine_tests =
           { Network.init = (fun _ -> ()); step = (fun ~round:_ _ () _ -> ([], `Active)) }
         in
         (match Network.run ~max_rounds:50 g p with
-        | exception Network.Did_not_quiesce _ -> ()
+        | exception Network.Did_not_quiesce { rounds; active; in_flight } ->
+          check_int "gave up at max_rounds" 50 rounds;
+          check_int "both vertices still active" 2 active;
+          check_int "no stuck messages" 0 in_flight
+        | _ -> Alcotest.fail "expected Did_not_quiesce"));
+    case "livelocked wave reported via in_flight" (fun () ->
+        (* two vertices forever bouncing a token: every pass has a message
+           in flight, so the stuck-state diagnosis must show it *)
+        let g = Gen.path 2 in
+        let p =
+          {
+            Network.init = (fun v -> v = 0);
+            step =
+              (fun ~round v has inbox ->
+                if (round = 0 && has) || inbox <> [] then
+                  ([ { Network.edge = 0; payload = [| v |] } ], `Idle)
+                else ([], `Idle));
+          }
+        in
+        (match Network.run ~max_rounds:30 g p with
+        | exception Network.Did_not_quiesce { rounds; active; in_flight } ->
+          check_int "gave up at max_rounds" 30 rounds;
+          check_int "all idle" 0 active;
+          check_int "token in flight" 1 in_flight
         | _ -> Alcotest.fail "expected Did_not_quiesce"));
   ]
 

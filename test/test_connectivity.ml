@@ -172,6 +172,54 @@ let enum_tests =
         let g = Gen.path 5 in
         let cuts = Min_cut_enum.enumerate_exhaustive g ~size:1 in
         check_int "four bridges" 4 (List.length cuts));
+    case "exhaustive enumeration guarded to n <= 24" (fun () ->
+        (match Min_cut_enum.enumerate_exhaustive (Gen.cycle 25) ~size:2 with
+        | exception Invalid_argument msg ->
+          check_is "names the culprit"
+            (String.length msg > 0
+            && String.sub msg 0 12 = "Min_cut_enum")
+        | _ -> Alcotest.fail "expected Invalid_argument for n = 25");
+        check_int "n = 16 fine" 15
+          (List.length (Min_cut_enum.enumerate_exhaustive (Gen.path 16) ~size:1)));
+    slow_case "exhaustive boundary n = 24 is accepted" (fun () ->
+        (* the full 2^23 subset scan, so `Slow — but the guard boundary
+           itself must stay usable *)
+        check_int "bridges of path24" 23
+          (List.length (Min_cut_enum.enumerate_exhaustive (Gen.path 24) ~size:1)));
+    case "covers on a single-edge cut" (fun () ->
+        (* a bridge's cut is covered by that bridge and nothing else *)
+        let g = Gen.path 3 in
+        match Min_cut_enum.enumerate_exhaustive g ~size:1 with
+        | [] -> Alcotest.fail "no bridge cuts on a path"
+        | cuts ->
+          List.iter
+            (fun c ->
+              match c.Min_cut_enum.edge_ids with
+              | [ b ] ->
+                check_is "bridge covers its own cut" (Min_cut_enum.covers g c b);
+                List.iter
+                  (fun e ->
+                    if e <> b then
+                      check_is "others do not" (not (Min_cut_enum.covers g c e)))
+                  (List.init (Graph.m g) Fun.id)
+              | _ -> Alcotest.fail "size-1 cut with several edges")
+            cuts);
+    case "covers on the full bipartition" (fun () ->
+        (* K4 split 2-2: all four crossing edges covered, the two
+           within-side edges not *)
+        let g = Gen.complete 4 in
+        let cuts = Min_cut_enum.enumerate_exhaustive g ~size:4 in
+        check_is "2-2 splits exist" (cuts <> []);
+        List.iter
+          (fun c ->
+            let covered =
+              List.filter (Min_cut_enum.covers g c) (List.init (Graph.m g) Fun.id)
+            in
+            check_int "exactly the crossing edges" 4 (List.length covered);
+            Alcotest.(check (list int))
+              "covered = edge_ids" c.Min_cut_enum.edge_ids
+              (List.sort compare covered))
+          cuts);
     case "covers matches side separation" (fun () ->
         let g = Gen.cycle 5 in
         let cuts = Min_cut_enum.enumerate_exhaustive g ~size:2 in
