@@ -88,6 +88,55 @@ let per_table_tests =
            Ecss2_unweighted.solve (Graph.unit_weights (W.weighted_random ~n:256 ~k:2))));
   ]
 
+let name_contains sub name =
+  let ln = String.length name and ls = String.length sub in
+  let rec go i = i + ls <= ln && (String.sub name i ls = sub || go (i + 1)) in
+  go 0
+
+(* the iteration hot path of the cover engines: large fixtures (graph, BFS
+   forest, MST, segment decomposition, the (k-1)-connected start H) are
+   built eagerly at test-construction time, so the timed closure contains
+   exactly the augmentation loop the incremental candidate index
+   accelerates.  Only fixtures for tests surviving [?filter] are built. *)
+let hot_tests ?filter () =
+  let keep name =
+    match filter with None -> true | Some sub -> name_contains sub name
+  in
+  let tap_hot n =
+    let g = W.weighted_random ~n ~k:2 in
+    let ledger = Rounds.create () in
+    let rng = Rng.create ~seed:1 in
+    let bfs = Prim.bfs_tree ledger g ~root:0 in
+    let bfs_forest = Forest.of_rooted_tree bfs in
+    let mst = Mst.run ledger (Rng.split rng) g in
+    let segs = Segments.build ledger ~bfs_forest mst in
+    stage (fun () ->
+        ignore
+          (Tap.augment (Rounds.create ()) (Rng.create ~seed:2) ~bfs_forest segs))
+  in
+  let augk_hot n ~k =
+    let g = W.weighted_random ~n ~k in
+    let ledger = Rounds.create () in
+    let rng = Rng.create ~seed:1 in
+    let bfs = Prim.bfs_tree ledger g ~root:0 in
+    let bfs_forest = Forest.of_rooted_tree bfs in
+    let mst = Mst.run ledger (Rng.split rng) g in
+    let h = Bitset.copy mst.Mst.mask in
+    let r2 = Augk.augment ledger (Rng.split rng) ~bfs_forest g ~h ~k:2 in
+    Bitset.union_into h r2.Augk.augmentation;
+    stage (fun () ->
+        ignore
+          (Augk.augment (Rounds.create ()) (Rng.create ~seed:2) ~bfs_forest g ~h
+             ~k))
+  in
+  List.filter_map
+    (fun (name, mk) -> if keep name then Some (Test.make ~name (mk ())) else None)
+    [
+      ("hot/tap-aug-n2048", fun () -> tap_hot 2048);
+      ("hot/tap-aug-n4096", fun () -> tap_hot 4096);
+      ("hot/augk-k3-n96", fun () -> augk_hot 96 ~k:3);
+    ]
+
 (* hot kernels underneath everything *)
 let kernel_tests =
   let g256 = W.weighted_random ~n:256 ~k:2 in
@@ -125,13 +174,24 @@ let kernel_tests =
 (* runs the microbenchmarks, prints the table and returns the
    (name, time/run ns) rows so the driver can record them into the
    benchmark history *)
-let run_micro () =
+let run_micro ?filter () =
   print_newline ();
   print_endline "################ W-micro — Bechamel wall-clock benchmarks";
   print_endline "# one Test.make per experiment table + the hot kernels";
   print_newline ();
+  let all_tests = per_table_tests @ kernel_tests @ hot_tests ?filter () in
+  let selected =
+    match filter with
+    | None -> all_tests
+    | Some sub -> List.filter (fun t -> name_contains sub (Test.name t)) all_tests
+  in
+  if selected = [] then begin
+    Printf.printf "no microbenchmark matches the filter\n";
+    []
+  end
+  else begin
   let tests =
-    Test.make_grouped ~name:"kecss" ~fmt:"%s/%s" (per_table_tests @ kernel_tests)
+    Test.make_grouped ~name:"kecss" ~fmt:"%s/%s" selected
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -164,6 +224,7 @@ let run_micro () =
   in
   flush stdout;
   timed
+  end
 
 (* ------------------------------------------------------------------ *)
 (* resilience table                                                    *)
@@ -333,6 +394,7 @@ type opts = {
   quick : bool;
   micro_only : bool;
   no_micro : bool;
+  micro_filter : string option;
   mpath : string option;
   history_out : string option;
   rev : string option;
@@ -342,7 +404,8 @@ type opts = {
 
 let usage =
   "usage: main.exe [--quick] [--exp ID]... [--micro-only] [--no-micro]\n\
-  \       [--metrics-out FILE] [--history-out FILE] [--rev REV]\n\
+  \       [--micro-filter SUBSTRING] [--metrics-out FILE]\n\
+  \       [--history-out FILE] [--rev REV]\n\
   \       [--compare OLD.json] [--threshold FRACTION]\n"
 
 let () =
@@ -353,6 +416,8 @@ let () =
     | "--quick" :: rest -> parse { o with quick = true } rest
     | "--micro-only" :: rest -> parse { o with micro_only = true } rest
     | "--no-micro" :: rest -> parse { o with no_micro = true } rest
+    | "--micro-filter" :: sub :: rest ->
+      parse { o with micro_filter = Some sub } rest
     | "--metrics-out" :: path :: rest -> parse { o with mpath = Some path } rest
     | "--history-out" :: path :: rest ->
       parse { o with history_out = Some path } rest
@@ -376,6 +441,7 @@ let () =
         quick = false;
         micro_only = false;
         no_micro = false;
+        micro_filter = None;
         mpath = None;
         history_out = None;
         rev = None;
@@ -402,7 +468,8 @@ let () =
     run_resilience_table ()
   end;
   let micro_rows =
-    if (not o.no_micro) || o.micro_only then run_micro () else []
+    if (not o.no_micro) || o.micro_only then run_micro ?filter:o.micro_filter ()
+    else []
   in
   let runs = representative_solves () in
   write_metrics_json runs (Option.value o.mpath ~default:"bench-metrics.json");

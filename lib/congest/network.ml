@@ -26,7 +26,8 @@ type 's program = {
     round:int -> int -> 's -> int array inbox -> send list * [ `Active | `Idle ];
 }
 
-let run_counted ?(metrics = Metrics.noop) ?hook ?max_rounds g p =
+let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
+    g p =
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> (16 * n) + 10_000
@@ -34,6 +35,20 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?max_rounds g p =
   let states = Array.init n p.init in
   let inboxes : int array inbox array = Array.make n [] in
   let active = Array.make n true in
+  (* [active_count] tracks the number of [true] cells in [active] so the
+     quiescence test is O(1) instead of an O(n) scan per pass *)
+  let active_count = ref n in
+  let set_active v b =
+    if active.(v) <> b then begin
+      active.(v) <- b;
+      active_count := !active_count + (if b then 1 else -1)
+    end
+  in
+  (* duplicate-send detection without a per-vertex hashtable: an edge is
+     a duplicate iff its cell already carries the current sender's stamp *)
+  let used_stamp = Array.make (max 1 (Graph.m g)) (-1) in
+  let stamp = ref 0 in
+  let sent : send list array = Array.make n [] in
   let in_flight = ref 0 in
   let round = ref 0 in
   let counted = ref 0 in
@@ -43,67 +58,71 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?max_rounds g p =
   let delayed = ref [] in
   let observe = Metrics.enabled metrics in
   if observe then Metrics.run_begin metrics;
-  let any_active () = Array.exists Fun.id active in
-  let count_active () =
-    Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 active
-  in
-  while (!in_flight > 0 || any_active ()) && !round < max_rounds do
+  while (!in_flight > 0 || !active_count > 0) && !round < max_rounds do
     (match hook with Some h -> h.round_begin ~round:!round | None -> ());
-    (* snapshot and clear inboxes, then step every vertex *)
-    let delivered = inboxes in
-    let next = Array.make n [] in
-    let sent_this_round = Array.make n [] in
+    (* step pass: consume inboxes, collect sends.  Under [lazy_poll] the
+       caller guarantees that stepping an idle vertex with an empty inbox
+       is a no-op returning ([], `Idle), so such calls are elided. *)
     for v = 0 to n - 1 do
-      let live =
-        match hook with Some h -> h.alive ~round:!round v | None -> true
-      in
-      if live then begin
-        let sends, status = p.step ~round:!round v states.(v) delivered.(v) in
-        active.(v) <- status = `Active;
-        sent_this_round.(v) <- sends
-      end
-      else begin
-        (* crash-stop: the vertex neither steps nor sends, no longer wants
-           rounds, and its delivered messages are lost *)
-        active.(v) <- false;
-        sent_this_round.(v) <- []
+      if (not lazy_poll) || active.(v) || inboxes.(v) <> [] then begin
+        let live =
+          match hook with Some h -> h.alive ~round:!round v | None -> true
+        in
+        if live then begin
+          let sends, status = p.step ~round:!round v states.(v) inboxes.(v) in
+          set_active v (status = `Active);
+          sent.(v) <- sends
+        end
+        else
+          (* crash-stop: the vertex neither steps nor sends, no longer wants
+             rounds, and its delivered messages are lost *)
+          set_active v false
       end
     done;
+    (* all inboxes are consumed (skipped vertices had empty ones); reuse the
+       array for next round's deliveries *)
+    Array.fill inboxes 0 n [];
     in_flight := 0;
     for v = 0 to n - 1 do
-      let used = Hashtbl.create 4 in
-      List.iter
-        (fun { edge; payload } ->
-          let words = Array.length payload in
-          if words > cap_words then raise (Message_too_large { vertex = v; words });
-          if Hashtbl.mem used edge then raise (Duplicate_send { vertex = v; edge });
-          Hashtbl.replace used edge ();
-          let dst = Graph.other_end g edge v in
-          (* the sender spent its message budget whatever the network then
-             does with the copy: sends are counted before the hook rules *)
-          if observe then Metrics.on_send metrics ~edge;
-          incr messages;
-          let fate =
-            match hook with
-            | Some h -> h.fate ~round:!round ~src:v ~edge
-            | None -> Deliver
-          in
-          match fate with
-          | Drop -> ()
-          | Deliver ->
-            next.(dst) <- (edge, payload) :: next.(dst);
-            incr in_flight
-          | Replicate copies ->
-            for _ = 1 to max 1 copies do
-              next.(dst) <- (edge, payload) :: next.(dst);
+      match sent.(v) with
+      | [] -> ()
+      | sends ->
+        sent.(v) <- [];
+        incr stamp;
+        List.iter
+          (fun { edge; payload } ->
+            let words = Array.length payload in
+            if words > cap_words then
+              raise (Message_too_large { vertex = v; words });
+            if used_stamp.(edge) = !stamp then
+              raise (Duplicate_send { vertex = v; edge });
+            used_stamp.(edge) <- !stamp;
+            let dst = Graph.other_end g edge v in
+            (* the sender spent its message budget whatever the network then
+               does with the copy: sends are counted before the hook rules *)
+            if observe then Metrics.on_send metrics ~edge;
+            incr messages;
+            let fate =
+              match hook with
+              | Some h -> h.fate ~round:!round ~src:v ~edge
+              | None -> Deliver
+            in
+            match fate with
+            | Drop -> ()
+            | Deliver ->
+              inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
               incr in_flight
-            done
-          | Postpone extra when extra <= 0 ->
-            next.(dst) <- (edge, payload) :: next.(dst);
-            incr in_flight
-          | Postpone extra ->
-            delayed := (!round + 1 + extra, dst, edge, payload) :: !delayed)
-        sent_this_round.(v)
+            | Replicate copies ->
+              for _ = 1 to max 1 copies do
+                inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
+                incr in_flight
+              done
+            | Postpone extra when extra <= 0 ->
+              inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
+              incr in_flight
+            | Postpone extra ->
+              delayed := (!round + 1 + extra, dst, edge, payload) :: !delayed)
+          sends
     done;
     if !delayed <> [] then begin
       let due, future =
@@ -111,7 +130,7 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?max_rounds g p =
       in
       List.iter
         (fun (_, dst, edge, payload) ->
-          next.(dst) <- (edge, payload) :: next.(dst);
+          inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
           incr in_flight)
         due;
       delayed := future;
@@ -119,26 +138,25 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?max_rounds g p =
          from declaring quiescence until it lands *)
       in_flight := !in_flight + List.length future
     end;
-    Array.blit next 0 inboxes 0 n;
     incr round;
     (* In the synchronous model a vertex receives, at the end of round r,
        the messages sent in round r; the engine splits this into a send
        pass and a delivery pass.  A pass that only delivers (no sends, no
        vertex still waiting) is the tail of the previous round, not a round
        of its own, so it is not counted. *)
-    if !in_flight > 0 || any_active () then begin
+    if !in_flight > 0 || !active_count > 0 then begin
       incr counted;
       (* an uncounted tail pass sends nothing, so summing the per-round
          message series over counted rounds yields the total count *)
       if observe then
-        Metrics.on_round metrics ~messages:!in_flight ~active:(count_active ())
+        Metrics.on_round metrics ~messages:!in_flight ~active:!active_count
     end
   done;
-  if !in_flight > 0 || any_active () then begin
+  if !in_flight > 0 || !active_count > 0 then begin
     if observe then Metrics.run_end metrics ~quiesced:false ~rounds:!counted;
     raise
       (Did_not_quiesce
-         { rounds = !round; active = count_active (); in_flight = !in_flight })
+         { rounds = !round; active = !active_count; in_flight = !in_flight })
   end;
   if observe then Metrics.run_end metrics ~quiesced:true ~rounds:!counted;
   (states, !counted, !messages)

@@ -81,6 +81,7 @@ val run : ?max_rounds:int -> Graph.t -> 's program -> 's array * int
 val run_counted :
   ?metrics:Metrics.t ->
   ?hook:hook ->
+  ?lazy_poll:bool ->
   ?max_rounds:int ->
   Graph.t ->
   's program ->
@@ -93,6 +94,15 @@ val run_counted :
     sample per counted round (messages sent, vertices active), cumulative
     per-edge congestion, and the run's quiescence round. With the default
     [Metrics.noop] the instrumentation reduces to one boolean test.
+
+    [?lazy_poll] (default [false]) is a promise by the caller that
+    stepping a vertex which reported [`Idle] and has an empty inbox is a
+    no-op returning [([], `Idle)] — true of every primitive in {!Prim}.
+    Under that promise the engine elides such step calls, making an
+    engine pass O(active + deliveries) instead of O(n).  Rounds, message
+    totals, inbox contents and final states are unaffected.  Programs
+    that send or mutate state in an idle step (e.g. purely round-driven
+    flooding) must keep the default.
 
     When [?hook] is given, every vertex step is gated by [hook.alive] and
     every sent message by [hook.fate]; postponed messages stay in flight

@@ -33,7 +33,7 @@ let bfs_tree ledger g ~root =
           else ([], if st.joined then `Idle else `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) g program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true g program in
   Rounds.charge ledger ~category:"bfs" rounds;
   Rounds.charge_messages ledger ~category:"bfs" messages;
   let pe = Array.map (fun st -> st.parent_edge) states in
@@ -56,7 +56,7 @@ let exchange ledger g sends =
           end);
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) g program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true g program in
   Rounds.charge ledger ~category:"exchange" rounds;
   Rounds.charge_messages ledger ~category:"exchange" messages;
   Array.map (fun st -> st.got) states
@@ -99,7 +99,7 @@ let wave_up ledger (f : Forest.t) ~value =
           else ([], if st.fired then `Idle else `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) f.Forest.graph program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true f.Forest.graph program in
   Rounds.charge ledger ~category:"wave_up" rounds;
   Rounds.charge_messages ledger ~category:"wave_up" messages;
   Array.map (fun st -> st.value) states
@@ -133,7 +133,7 @@ let wave_down ledger (f : Forest.t) ~root_value ~derive =
             | _ -> ([], if st.have then `Idle else `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) f.Forest.graph program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true f.Forest.graph program in
   Rounds.charge ledger ~category:"wave_down" rounds;
   Rounds.charge_messages ledger ~category:"wave_down" messages;
   Array.map (fun st -> st.value) states
@@ -141,31 +141,32 @@ let wave_down ledger (f : Forest.t) ~root_value ~derive =
 (* ---------- pipelined root-path dissemination ---------- *)
 
 type pipe_state = {
-  queue : (int * int array) Queue.t; (* (origin, payload) to forward *)
-  mutable received : (int * int array) list; (* reverse order *)
+  queue : int array Queue.t; (* [|origin; payload...|] messages to forward *)
+  mutable received : int array list; (* reverse order *)
 }
 
-let down_pipeline ledger (f : Forest.t) ~emit =
+let down_pipeline ?(record = true) ledger (f : Forest.t) ~emit =
   let program : pipe_state Network.program =
     {
       init =
         (fun v ->
           let q = Queue.create () in
-          List.iter (fun payload -> Queue.add (v, payload) q) (emit v);
+          List.iter
+            (fun payload -> Queue.add (Array.append [| v |] payload) q)
+            (emit v);
           { queue = q; received = [] });
       step =
         (fun ~round:_ v st inbox ->
           List.iter
             (fun (_, msg) ->
-              let origin = msg.(0) in
-              let payload = Array.sub msg 1 (Array.length msg - 1) in
-              st.received <- (origin, payload) :: st.received;
-              st.queue |> Queue.add (origin, payload))
+              (* the message array is immutable in flight, so it is queued
+                 and forwarded as-is — no per-hop repacking *)
+              if record then st.received <- msg :: st.received;
+              Queue.add msg st.queue)
             inbox;
           if Queue.is_empty st.queue then ([], `Idle)
           else begin
-            let origin, payload = Queue.pop st.queue in
-            let msg = Array.append [| origin |] payload in
+            let msg = Queue.pop st.queue in
             let sends =
               List.map
                 (fun c -> { Network.edge = f.Forest.parent_edge.(c); payload = msg })
@@ -175,20 +176,27 @@ let down_pipeline ledger (f : Forest.t) ~emit =
           end);
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) f.Forest.graph program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true f.Forest.graph program in
   Rounds.charge ledger ~category:"down_pipeline" rounds;
   Rounds.charge_messages ledger ~category:"down_pipeline" messages;
-  Array.map (fun st -> List.rev st.received) states
+  Array.map
+    (fun st ->
+      List.rev_map
+        (fun msg -> (msg.(0), Array.sub msg 1 (Array.length msg - 1)))
+        st.received)
+    states
 
-let broadcast_list ledger (f : Forest.t) ~items =
+let broadcast_list ?(record = true) ledger (f : Forest.t) ~items =
   let emit v = if f.Forest.parent.(v) < 0 then items v else [] in
-  let received = down_pipeline ledger f ~emit in
+  let received = down_pipeline ~record ledger f ~emit in
   (* a root hears its own list too, so every tree member agrees *)
-  Array.mapi
-    (fun v got ->
-      if f.Forest.parent.(v) < 0 then List.map (fun p -> (v, p)) (items v)
-      else got)
-    received
+  if not record then received
+  else
+    Array.mapi
+      (fun v got ->
+        if f.Forest.parent.(v) < 0 then List.map (fun p -> (v, p)) (items v)
+        else got)
+      received
 
 (* ---------- per-edge bidirectional streaming ---------- *)
 
@@ -211,7 +219,7 @@ let edge_stream ledger g ~lengths =
           (sends, if more then `Active else `Idle));
     }
   in
-  let _, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) g program in
+  let _, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true g program in
   Rounds.charge ledger ~category:"edge_stream" rounds;
   Rounds.charge_messages ledger ~category:"edge_stream" messages
 
@@ -240,7 +248,7 @@ let walk_up ledger (f : Forest.t) ~sources =
           end);
     }
   in
-  let _, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) f.Forest.graph program in
+  let _, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true f.Forest.graph program in
   Rounds.charge ledger ~category:"walk_up" rounds;
   Rounds.charge_messages ledger ~category:"walk_up" messages
 
@@ -250,8 +258,8 @@ type stream = { entries : (int * int array) Queue.t; mutable closed : bool }
 
 type merge_state = {
   mutable own : (int * int array) list;
-  streams : (int, stream) Hashtbl.t; (* by child edge id *)
-  child_edges : int list;
+  child_edges : int array;
+  streams : stream array; (* aligned with child_edges *)
   mutable sent_done : bool;
   mutable results : (int * int array) list; (* root only, reverse *)
 }
@@ -271,33 +279,31 @@ let up_pipeline_merge ledger (f : Forest.t) ~emit ~combine =
     go entries;
     entries
   in
-  let stream_of st edge =
-    match Hashtbl.find_opt st.streams edge with
-    | Some s -> s
-    | None ->
-      let s = { entries = Queue.create (); closed = false } in
-      Hashtbl.replace st.streams edge s;
-      s
+  let stream_for st edge =
+    (* messages only arrive over child edges; linear scan over the (small)
+       child list beats a per-vertex hashtable on the hot path *)
+    let rec go j =
+      if st.child_edges.(j) = edge then st.streams.(j) else go (j + 1)
+    in
+    go 0
   in
   (* min key ready for merging: every child stream must have a head or be
      closed, otherwise a smaller key may still arrive *)
   let ready st =
-    List.for_all
-      (fun e ->
-        let s = stream_of st e in
-        s.closed || not (Queue.is_empty s.entries))
-      st.child_edges
+    Array.for_all
+      (fun s -> s.closed || not (Queue.is_empty s.entries))
+      st.streams
   in
   let heads st =
-    let own = match st.own with [] -> None | (k, _) :: _ -> Some k in
-    List.fold_left
-      (fun acc e ->
-        let s = stream_of st e in
+    let acc = ref (match st.own with [] -> None | (k, _) :: _ -> Some k) in
+    Array.iter
+      (fun s ->
         match Queue.peek_opt s.entries with
-        | None -> acc
+        | None -> ()
         | Some (k, _) -> (
-          match acc with Some k' when k' <= k -> acc | _ -> Some k))
-      own st.child_edges
+          match !acc with Some k' when k' <= k -> () | _ -> acc := Some k))
+      st.streams;
+    !acc
   in
   let pop_key st key =
     (* fuse every source whose head has this key *)
@@ -310,34 +316,37 @@ let up_pipeline_merge ledger (f : Forest.t) ~emit ~combine =
       fuse p;
       st.own <- rest
     | _ -> ());
-    List.iter
-      (fun e ->
-        let s = stream_of st e in
+    Array.iter
+      (fun s ->
         match Queue.peek_opt s.entries with
         | Some (k, p) when k = key ->
           ignore (Queue.pop s.entries);
           fuse p
         | _ -> ())
-      st.child_edges;
+      st.streams;
     match !acc with Some p -> p | None -> assert false
   in
   let all_drained st =
     st.own = []
-    && List.for_all
-         (fun e ->
-           let s = stream_of st e in
-           s.closed && Queue.is_empty s.entries)
-         st.child_edges
+    && Array.for_all
+         (fun s -> s.closed && Queue.is_empty s.entries)
+         st.streams
   in
   let program : merge_state Network.program =
     {
       init =
         (fun v ->
+          let child_edges =
+            List.map (fun c -> f.Forest.parent_edge.(c)) f.Forest.children.(v)
+            |> Array.of_list
+          in
           {
             own = check_sorted v (emit v);
-            streams = Hashtbl.create 4;
-            child_edges =
-              List.map (fun c -> f.Forest.parent_edge.(c)) f.Forest.children.(v);
+            child_edges;
+            streams =
+              Array.map
+                (fun _ -> { entries = Queue.create (); closed = false })
+                child_edges;
             sent_done = false;
             results = [];
           });
@@ -345,7 +354,7 @@ let up_pipeline_merge ledger (f : Forest.t) ~emit ~combine =
         (fun ~round:_ v st inbox ->
           List.iter
             (fun (edge, msg) ->
-              let s = stream_of st edge in
+              let s = stream_for st edge in
               if msg.(0) = 1 then s.closed <- true
               else
                 Queue.add (msg.(1), Array.sub msg 2 (Array.length msg - 2)) s.entries)
@@ -381,7 +390,7 @@ let up_pipeline_merge ledger (f : Forest.t) ~emit ~combine =
           else ([], `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) f.Forest.graph program in
+  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true f.Forest.graph program in
   Rounds.charge ledger ~category:"up_pipeline" rounds;
   Rounds.charge_messages ledger ~category:"up_pipeline" messages;
   Array.map (fun st -> List.rev st.results) states

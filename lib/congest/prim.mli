@@ -43,17 +43,24 @@ val wave_down :
     vertex derives its value from its parent's. Rounds = max depth. *)
 
 val down_pipeline :
+  ?record:bool ->
   Rounds.t -> Forest.t -> emit:(int -> int array list) -> (int * int array) list array
 (** Pipelined root-path dissemination: every vertex receives, as
     [(origin, payload)] pairs ordered nearest-ancestor-first, the emissions
     of all its strict ancestors. Rounds ≤ max over v of
-    (depth v + Σ emissions above v); payloads of ≤ cap−1 words. *)
+    (depth v + Σ emissions above v); payloads of ≤ cap−1 words.
+    [~record:false] runs the identical protocol (same rounds, same
+    messages) but skips materialising the per-vertex received lists —
+    for call sites that only charge the communication. *)
 
-val broadcast_list : Rounds.t -> Forest.t -> items:(int -> int array list) -> (int * int array) list array
+val broadcast_list :
+  ?record:bool ->
+  Rounds.t -> Forest.t -> items:(int -> int array list) -> (int * int array) list array
 (** Roots disseminate their item lists to their whole trees (pipelined).
     Returns per-vertex received [(origin_root, payload)] lists; each root
     also "receives" its own list, so every vertex of a tree ends with the
-    same data. Rounds ≤ max depth + max #items. *)
+    same data. Rounds ≤ max depth + max #items. [~record:false] as in
+    {!down_pipeline} (the returned lists are then empty). *)
 
 val edge_stream : Rounds.t -> Graph.t -> lengths:(int -> int) -> unit
 (** [edge_stream ledger g ~lengths] has both endpoints of every edge [e]

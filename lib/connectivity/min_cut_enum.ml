@@ -55,29 +55,6 @@ let enumerate_exhaustive ?mask g ~size =
   done;
   List.rev !out
 
-let contraction_trial rng g edge_ids =
-  (* One Karger contraction down to two supervertices; returns the side of
-     vertex 0. *)
-  let n = Graph.n g in
-  let uf = Union_find.create n in
-  let order = Array.of_list edge_ids in
-  Rng.shuffle rng order;
-  let remaining = ref n and i = ref 0 in
-  while !remaining > 2 && !i < Array.length order do
-    let u, v = Graph.endpoints g order.(!i) in
-    incr i;
-    if Union_find.union uf u v then decr remaining
-  done;
-  if !remaining > 2 then None
-  else begin
-    let r0 = Union_find.find uf 0 in
-    let side = Bitset.create n in
-    for v = 0 to n - 1 do
-      if Union_find.find uf v = r0 then Bitset.add side v
-    done;
-    Some side
-  end
-
 (* cuts of size 1 are the bridges: no sampling needed *)
 let enumerate_bridges ?mask g =
   List.map
@@ -106,20 +83,116 @@ let enumerate ?mask ?trials ~rng g ~size =
       let ln = int_of_float (ceil (log (float_of_int (max 2 n)))) in
       3 * n * n * ln
   in
+  (* The trial loop is the whole cost of §4's local preprocessing, so it
+     avoids all per-trial allocation beyond the union-find: the shuffle
+     buffer is refilled by blit (same rng draws as a fresh array), the
+     crossing test compares union-find roots directly, and the side
+     bitset is only materialized for cuts seen for the first time.
+     [masked_edges] is ascending, so the collected cut edge ids need no
+     sort, and the sorted list itself is the dedup key. *)
+  let base = Array.of_list edge_ids in
+  let m_ids = Array.length base in
+  let us = Array.map (fun id -> fst (Graph.endpoints g id)) base in
+  let vs = Array.map (fun id -> snd (Graph.endpoints g id)) base in
+  (* shuffling positions instead of ids keeps the rng draws identical
+     (same array length) while the contraction reads endpoints from the
+     flat arrays above *)
+  let positions = Array.init (max 1 m_ids) (fun j -> j) in
+  let order = Array.make (max 1 m_ids) 0 in
+  let side_buf = Array.make (max 1 n) false in
+  (* flat union-find reset in place per trial: any union strategy yields
+     the same final partition, so this changes nothing observable *)
+  let parent = Array.make (max 1 n) 0 in
+  let rank = Array.make (max 1 n) 0 in
+  (* bounds checks cost ~30% of the whole enumeration here, and every
+     index below is a vertex id < n or a position < m_ids by
+     construction, so the kernel uses the unsafe accessors *)
+  let find x =
+    let x = ref x in
+    while Array.unsafe_get parent !x <> !x do
+      Array.unsafe_set parent !x
+        (Array.unsafe_get parent (Array.unsafe_get parent !x));
+      x := Array.unsafe_get parent !x
+    done;
+    !x
+  in
+  let pos_buf = Array.make (size + 1) 0 in
   let seen = Hashtbl.create 64 in
   let out = ref [] in
   for _ = 1 to trials do
-    match contraction_trial rng g edge_ids with
-    | None -> ()
-    | Some side ->
-      let cut_ids = delta ?mask g side in
-      if List.length cut_ids = size then begin
-        let key = canonical_key cut_ids in
-        if not (Hashtbl.mem seen key) then begin
-          Hashtbl.replace seen key ();
+    Array.blit positions 0 order 0 m_ids;
+    Rng.shuffle rng order;
+    for v = 0 to n - 1 do
+      parent.(v) <- v
+    done;
+    Array.fill rank 0 n 0;
+    let remaining = ref n and i = ref 0 in
+    while !remaining > 2 && !i < m_ids do
+      let j = Array.unsafe_get order !i in
+      incr i;
+      (* [find], hand-inlined twice: without flambda the closure call
+         costs more than the path-halving loop it wraps *)
+      let x = ref (Array.unsafe_get us j) in
+      while Array.unsafe_get parent !x <> !x do
+        Array.unsafe_set parent !x
+          (Array.unsafe_get parent (Array.unsafe_get parent !x));
+        x := Array.unsafe_get parent !x
+      done;
+      let ru = !x in
+      x := Array.unsafe_get vs j;
+      while Array.unsafe_get parent !x <> !x do
+        Array.unsafe_set parent !x
+          (Array.unsafe_get parent (Array.unsafe_get parent !x));
+        x := Array.unsafe_get parent !x
+      done;
+      let rv = !x in
+      if ru <> rv then begin
+        if Array.unsafe_get rank ru < Array.unsafe_get rank rv then
+          Array.unsafe_set parent ru rv
+        else begin
+          Array.unsafe_set parent rv ru;
+          if Array.unsafe_get rank ru = Array.unsafe_get rank rv then
+            Array.unsafe_set rank ru (Array.unsafe_get rank ru + 1)
+        end;
+        decr remaining
+      end
+    done;
+    if !remaining = 2 then begin
+      (* label each vertex's side once (n finds beat 2m finds), then
+         scan the edges recording crossing positions; the scan stops as
+         soon as the count overshoots [size], and the side bitset is
+         only materialized for cuts seen for the first time *)
+      let r0 = find 0 in
+      for v = 0 to n - 1 do
+        Array.unsafe_set side_buf v (find v = r0)
+      done;
+      let count = ref 0 and j = ref 0 in
+      while !count <= size && !j < m_ids do
+        if
+          Array.unsafe_get side_buf (Array.unsafe_get us !j)
+          <> Array.unsafe_get side_buf (Array.unsafe_get vs !j)
+        then begin
+          if !count < size + 1 then pos_buf.(!count) <- !j;
+          incr count
+        end;
+        incr j
+      done;
+      if !count = size then begin
+        let cut_ids = ref [] in
+        for c = size - 1 downto 0 do
+          cut_ids := base.(pos_buf.(c)) :: !cut_ids
+        done;
+        let cut_ids = !cut_ids in
+        if not (Hashtbl.mem seen cut_ids) then begin
+          Hashtbl.replace seen cut_ids ();
+          let side = Bitset.create n in
+          for v = 0 to n - 1 do
+            if side_buf.(v) then Bitset.add side v
+          done;
           out := { edge_ids = cut_ids; side } :: !out
         end
       end
+    end
   done;
   List.rev !out
   end

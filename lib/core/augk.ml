@@ -33,25 +33,26 @@ type result = {
 }
 
 (* Kruskal on the filter weights (A ↦ 0, active ↦ 1, rest ↦ 2), with edge-id
-   tie-break: the same tree the distributed MST of Line 4 computes. *)
+   tie-break: the same tree the distributed MST of Line 4 computes.
+   [Graph.edges] is already id-ascending, so three class passes visit the
+   edges in exactly the (filter weight, id) order a sort would produce —
+   no per-iteration O(m log m) re-sort. *)
 let filter_mst g ~a ~active =
   let n = Graph.n g in
-  let weight e =
-    if Bitset.mem a e.Graph.id then 0
-    else if Hashtbl.mem active e.Graph.id then 1
-    else 2
-  in
-  let edges = Array.copy (Graph.edges g) in
-  Array.sort
-    (fun e1 e2 -> compare (weight e1, e1.Graph.id) (weight e2, e2.Graph.id))
-    edges;
+  let edges = Graph.edges g in
   let uf = Union_find.create n in
   let chosen = Hashtbl.create 64 in
-  Array.iter
-    (fun e ->
-      if Union_find.union uf e.Graph.u e.Graph.v then
-        Hashtbl.replace chosen e.Graph.id ())
-    edges;
+  let pass keep =
+    Array.iter
+      (fun e ->
+        if keep e.Graph.id then
+          if Union_find.union uf e.Graph.u e.Graph.v then
+            Hashtbl.replace chosen e.Graph.id ())
+      edges
+  in
+  pass (fun id -> Bitset.mem a id);
+  pass (fun id -> (not (Bitset.mem a id)) && Bitset.mem active id);
+  pass (fun id -> not (Bitset.mem a id || Bitset.mem active id));
   chosen
 
 (* per-iteration distributed cost beside the MST filter: broadcast of the
@@ -61,7 +62,7 @@ let charge_iteration ledger ~bfs_forest ~added =
     (Prim.wave_up ledger bfs_forest ~value:(fun _ kids ->
          [| List.fold_left (fun acc k -> max acc k.(0)) 0 kids |]));
   ignore
-    (Prim.broadcast_list ledger bfs_forest ~items:(fun _ ->
+    (Prim.broadcast_list ~record:false ledger bfs_forest ~items:(fun _ ->
          [| 0 |] :: List.map (fun e -> [| e |]) added))
 
 let augment ?config ledger rng ~bfs_forest g ~h ~k =
@@ -87,7 +88,7 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
       invalid_arg "Augk.augment: H is not (k-1)-edge-connected";
     (* the vertices learn H over the BFS tree (the O(kn)-edge invariant) *)
     ignore
-      (Prim.broadcast_list ledger bfs_forest ~items:(fun _ ->
+      (Prim.broadcast_list ~record:false ledger bfs_forest ~items:(fun _ ->
            List.map (fun e -> [| e |]) (Bitset.elements h)));
     (* enumerate the size-(k-1) cuts of H — every vertex does this locally *)
     let cuts =
@@ -114,14 +115,29 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
           g)
       cuts;
     let uncovered = ref (Array.length cuts) in
+    (* candidates bucketed by level; touched on every ce decrement so the
+       per-iteration max-level/candidate queries are O(changed), not O(m) *)
+    let index =
+      Level_index.create ~universe:m ~level:(fun e ->
+          Cost.level ~covered:ce.(e) ~weight:(Graph.weight g e))
+    in
+    Graph.iter_edges
+      (fun e ->
+        if not (Bitset.mem h e.Graph.id) then Level_index.add index e.Graph.id)
+      g;
     let add_to_a e =
       Bitset.add a e;
+      Level_index.retire index e;
       List.iter
         (fun ci ->
           if not cut_covered.(ci) then begin
             cut_covered.(ci) <- true;
             decr uncovered;
-            List.iter (fun e' -> ce.(e') <- ce.(e') - 1) coverers_of_cut.(ci)
+            List.iter
+              (fun e' ->
+                ce.(e') <- ce.(e') - 1;
+                Level_index.touch index e')
+              coverers_of_cut.(ci)
           end)
         covers_of_edge.(e)
     in
@@ -131,7 +147,7 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
       let run_real () =
         let weights e =
           if Bitset.mem a e.Graph.id then 0
-          else if Hashtbl.mem active e.Graph.id then 1
+          else if Bitset.mem active e.Graph.id then 1
           else 2
         in
         let probe = Rounds.create () in
@@ -149,6 +165,10 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
     let iterations = ref 0 in
     let phases = ref 0 in
     let active_weight = ref 0 in
+    (* edges that have ever been active: active_weight counts each distinct
+       edge once, matching its documented meaning — re-activations across
+       iterations used to be double-counted *)
+    let ever_active = Bitset.create (max 1 m) in
     let current_level = ref Cost.useless in
     let p_exp = ref 0 (* p = 2^-p_exp *) in
     let phase_iter = ref 0 in
@@ -160,15 +180,8 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
       incr iterations;
       Events.iteration_begin tr ~algo:"augk" ~index:!iterations;
       (* Line 1–2: levels and candidates *)
-      let max_level = ref Cost.useless in
-      Graph.iter_edges
-        (fun e ->
-          if (not (in_h_or_a e.Graph.id)) && ce.(e.Graph.id) > 0 then begin
-            let l = Cost.level ~covered:ce.(e.Graph.id) ~weight:e.Graph.w in
-            if l > !max_level then max_level := l
-          end)
-        g;
-      if !max_level = Cost.useless then begin
+      let max_level = Level_index.max_level index in
+      if max_level = Cost.useless then begin
         (* no remaining edge covers an uncovered cut: the enumeration must
            have produced a cut that is not a real cut of G (impossible for
            exact enumeration) — fall through to the repair net *)
@@ -176,8 +189,8 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
         Events.iteration_end tr ~algo:"augk" ~added:0 ~remaining:0
       end
       else begin
-        if !max_level <> !current_level then begin
-          current_level := !max_level;
+        if max_level <> !current_level then begin
+          current_level := max_level;
           p_exp := log2_ceil (m + 1);
           phase_iter := 0;
           incr phases;
@@ -186,41 +199,40 @@ let augment ?config ledger rng ~bfs_forest g ~h ~k =
         end;
         if !iterations > config.max_iterations then p_exp := 0;
         let p = Float.pow 2.0 (float_of_int (- !p_exp)) in
-        (* Line 3: activation *)
-        let active = Hashtbl.create 64 in
-        Graph.iter_edges
-          (fun e ->
-            if
-              (not (in_h_or_a e.Graph.id))
-              && ce.(e.Graph.id) > 0
-              && Cost.level ~covered:ce.(e.Graph.id) ~weight:e.Graph.w
-                 = !max_level
-              && (!p_exp = 0 || Rng.bernoulli rng p)
-            then begin
-              Hashtbl.replace active e.Graph.id ();
-              active_weight := !active_weight + e.Graph.w
-            end)
-          g;
-        Events.candidate_census tr ~algo:"augk" ~level:!max_level
-          ~candidates:(Hashtbl.length active);
+        (* Line 3: activation — the index yields the max-level candidates
+           in ascending id order, so the bernoulli draws happen in the
+           same order as the full scan they replace *)
+        let active = Bitset.create (max 1 m) in
+        let active_count = ref 0 in
+        Level_index.iter_at index max_level (fun e ->
+            if !p_exp = 0 || Rng.bernoulli rng p then begin
+              Bitset.add active e;
+              incr active_count;
+              if not (Bitset.mem ever_active e) then begin
+                Bitset.add ever_active e;
+                active_weight := !active_weight + Graph.weight g e
+              end
+            end);
+        Events.candidate_census tr ~algo:"augk" ~level:max_level
+          ~candidates:!active_count;
         (* Line 4: the MST filter *)
         let added = ref [] in
-        if Hashtbl.length active > 0 then begin
+        if !active_count > 0 then begin
           if config.use_mst_filter then begin
             let chosen = filter_mst g ~a ~active in
-            Hashtbl.iter
-              (fun e () -> if Hashtbl.mem chosen e then added := e :: !added)
+            Bitset.iter
+              (fun e -> if Hashtbl.mem chosen e then added := e :: !added)
               active
           end
           else
             (* ablation: skip Line 4 and keep every active candidate *)
-            Hashtbl.iter (fun e () -> added := e :: !added) active;
+            Bitset.iter (fun e -> added := e :: !added) active;
           (* audit the rounding evidence before add_to_a mutates ce *)
           if Trace.enabled tr then
             List.iter
               (fun e ->
                 Events.rho_audit tr ~algo:"augk" ~edge:e ~covered:ce.(e)
-                  ~weight:(Graph.weight g e) ~level:!max_level)
+                  ~weight:(Graph.weight g e) ~level:max_level)
               !added;
           List.iter add_to_a (List.sort compare !added)
         end;

@@ -35,4 +35,20 @@ val max_level : level list -> level
 val rho_upper : level -> float
 (** The numeric value 2^z of a finite level, for reporting. *)
 
+val payload_bias : int
+(** Bias of the broadcast encoding: finite exponents live in
+    [[-payload_bias, payload_bias]]. *)
+
+val to_payload : level -> int
+(** [to_payload l] encodes [l] as a small non-negative integer fit for a
+    CONGEST message word: finite exponents are shifted by
+    {!payload_bias} (so negative levels survive the trip), with the two
+    distinguished levels mapped to sentinels just above the biased
+    range.  @raise Invalid_argument if a finite level falls outside
+    [[-payload_bias, payload_bias]]. *)
+
+val of_payload : int -> level
+(** Inverse of {!to_payload}.
+    @raise Invalid_argument on a word that is not an encoded level. *)
+
 val pp : Format.formatter -> level -> unit

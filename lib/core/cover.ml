@@ -30,6 +30,7 @@ type state = {
   mutable uncovered : int;
   ce : int array;                 (* per candidate: uncovered covered *)
   coverers : int list array;      (* per element: candidates covering it *)
+  index : Level_index.t;          (* candidates bucketed by Cost.level *)
   chosen : Bitset.t;
   mutable cost_sum : float;
 }
@@ -49,12 +50,20 @@ let init p =
   Array.iteri
     (fun el cs -> if cs = [] then invalid_arg (Printf.sprintf "Cover: element %d uncoverable" el))
     coverers;
+  let index =
+    Level_index.create ~universe:p.candidates ~level:(fun c ->
+        Cost.level ~covered:ce.(c) ~weight:(p.weight c))
+  in
+  for c = 0 to p.candidates - 1 do
+    Level_index.add index c
+  done;
   {
     p;
     covered = Array.make p.elements false;
     uncovered = p.elements;
     ce;
     coverers;
+    index;
     chosen = Bitset.create (max 1 p.candidates);
     cost_sum = 0.0;
   }
@@ -62,36 +71,23 @@ let init p =
 let commit st c =
   if not (Bitset.mem st.chosen c) then begin
     Bitset.add st.chosen c;
+    Level_index.retire st.index c;
     List.iter
       (fun el ->
         if not st.covered.(el) then begin
           st.covered.(el) <- true;
           st.uncovered <- st.uncovered - 1;
-          List.iter (fun c' -> st.ce.(c') <- st.ce.(c') - 1) st.coverers.(el)
+          List.iter
+            (fun c' ->
+              st.ce.(c') <- st.ce.(c') - 1;
+              Level_index.touch st.index c')
+            st.coverers.(el)
         end)
       (st.p.covered_by c)
   end
 
-let max_level st =
-  let best = ref Cost.useless in
-  for c = 0 to st.p.candidates - 1 do
-    if (not (Bitset.mem st.chosen c)) && st.ce.(c) > 0 then begin
-      let l = Cost.level ~covered:st.ce.(c) ~weight:(st.p.weight c) in
-      if l > !best then best := l
-    end
-  done;
-  !best
-
-let candidates_at st level =
-  let acc = ref [] in
-  for c = st.p.candidates - 1 downto 0 do
-    if
-      (not (Bitset.mem st.chosen c))
-      && st.ce.(c) > 0
-      && Cost.level ~covered:st.ce.(c) ~weight:(st.p.weight c) = level
-    then acc := c :: !acc
-  done;
-  !acc
+let max_level st = Level_index.max_level st.index
+let candidates_at st level = Level_index.candidates_at st.index level
 
 let solve ?max_iterations rng p strategy =
   let st = init p in
@@ -186,10 +182,14 @@ let solve ?max_iterations rng p strategy =
 let greedy p =
   let st = init p in
   while st.uncovered > 0 do
+    (* the exact maximizer of ce/w is always in the top rounded bucket:
+       a level-l candidate has ce/w ≥ 2^(l-1), strictly above every
+       ratio in lower buckets — so only that bucket need be scanned *)
+    let level = max_level st in
+    assert (Cost.is_candidate_level level);
     let best = ref (-1) and best_key = ref (0, 0) in
     (* maximize ce/w: compare fractions by cross-multiplication *)
-    for c = 0 to p.candidates - 1 do
-      if (not (Bitset.mem st.chosen c)) && st.ce.(c) > 0 then begin
+    Level_index.iter_at st.index level (fun c ->
         let key = (st.ce.(c), p.weight c) in
         let better =
           !best < 0
@@ -202,9 +202,7 @@ let greedy p =
         if better then begin
           best := c;
           best_key := key
-        end
-      end
-    done;
+        end);
     assert (!best >= 0);
     commit st !best
   done;

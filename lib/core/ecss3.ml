@@ -49,6 +49,26 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
     u
   in
   let height = Array.fold_left max 0 (Array.map (Rooted_tree.depth tree) (Rooted_tree.preorder tree)) in
+  (* static per-candidate data, computed once: the ids outside H in
+     ascending order, their weights, and the §5.3 exchange path lengths
+     (tree depths never change) — iterations then scan only candidates *)
+  let edges = Graph.edges g in
+  let cand =
+    let acc = ref [] in
+    Graph.iter_edges
+      (fun e -> if not (Bitset.mem h e.Graph.id) then acc := e.Graph.id :: !acc)
+      g;
+    Array.of_list (List.rev !acc)
+  in
+  let cand_w = Array.map (fun id -> edge_weight edges.(id)) cand in
+  let exch_len = Array.make (max 1 m) 0 in
+  Graph.iter_edges
+    (fun e ->
+      let u, v = Graph.endpoints g e.Graph.id in
+      exch_len.(e.Graph.id) <-
+        1 + min (Rooted_tree.depth tree u) (Rooted_tree.depth tree v))
+    g;
+  let cand_level = Array.make (max 1 m) Cost.useless in
   let iterations = ref 0 in
   let phases = ref 0 in
   let current_level = ref Cost.useless in
@@ -76,25 +96,22 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
              let pe = Rooted_tree.parent_edge tree v in
              if pe < 0 then [] else [ [| pe; Labels.label labels pe |] ]));
       Prim.edge_stream ledger g ~lengths:(fun e ->
-          if Bitset.mem h e || Bitset.mem a e then 0
-          else
-            let u, v = Graph.endpoints g e in
-            1 + min (Rooted_tree.depth tree u) (Rooted_tree.depth tree v));
+          if Bitset.mem h e || Bitset.mem a e then 0 else exch_len.(e));
       (* the Claim 5.9 pipelined upcast of the n_φ(t) values along root
          paths: O(height) rounds with pipelining (Theorem 4.2 of [32]) *)
       Rounds.charge ledger ~category:"nphi_upcast" ((2 * height) + 2);
-      (* levels *)
-      let cand_level = Array.make m Cost.useless in
+      (* levels — stale entries for edges meanwhile in A are harmless:
+         the activation below re-checks membership before any rng draw *)
       let max_level = ref Cost.useless in
-      Graph.iter_edges
-        (fun e ->
-          if not (Bitset.mem h e.Graph.id || Bitset.mem a e.Graph.id) then begin
-            let rho = Labels.pairs_covered labels e.Graph.id in
-            let l = Cost.level ~covered:rho ~weight:(edge_weight e) in
-            cand_level.(e.Graph.id) <- l;
+      Array.iteri
+        (fun pos id ->
+          if not (Bitset.mem a id) then begin
+            let rho = Labels.pairs_covered labels id in
+            let l = Cost.level ~covered:rho ~weight:cand_w.(pos) in
+            cand_level.(id) <- l;
             if l > !max_level then max_level := l
           end)
-        g;
+        cand;
       let level = min !max_level !level_cap in
       charge_level_agreement ledger forest;
       if (not (Cost.is_candidate_level level)) || level < 1 then begin
@@ -114,21 +131,21 @@ let augment_core ?config ledger rng g ~tree ~h ~edge_weight =
         let p = Float.pow 2.0 (float_of_int (- !p_exp)) in
         (* Line 3: all active candidates join A directly *)
         let added = ref [] in
-        Graph.iter_edges
-          (fun e ->
+        Array.iteri
+          (fun pos id ->
             if
-              cand_level.(e.Graph.id) >= level
-              && (not (Bitset.mem a e.Graph.id))
+              cand_level.(id) >= level
+              && (not (Bitset.mem a id))
               && (!p_exp = 0 || Rng.bernoulli rng p)
             then begin
-              Bitset.add a e.Graph.id;
-              added := e.Graph.id :: !added;
+              Bitset.add a id;
+              added := id :: !added;
               if Trace.enabled tr then
-                Events.rho_audit tr ~algo:"ecss3" ~edge:e.Graph.id
-                  ~covered:(Labels.pairs_covered labels e.Graph.id)
-                  ~weight:(edge_weight e) ~level:cand_level.(e.Graph.id)
+                Events.rho_audit tr ~algo:"ecss3" ~edge:id
+                  ~covered:(Labels.pairs_covered labels id)
+                  ~weight:cand_w.(pos) ~level:cand_level.(id)
             end)
-          g;
+          cand;
         Events.candidate_census tr ~algo:"ecss3" ~level
           ~candidates:(List.length !added);
         ignore

@@ -1,0 +1,123 @@
+open Kecss_graph
+
+(* Bucket layout: finite levels are biased by [Cost.payload_bias] into
+   slots [0 .. 2*bias], [Cost.infinite] gets the slot above.  Candidates
+   at [Cost.useless] (cover nothing) sit in no bucket at all. *)
+
+let slots = (2 * Cost.payload_bias) + 2
+let infinite_slot = slots - 1
+
+let slot_of_level l =
+  if l = Cost.useless then -1
+  else if l = Cost.infinite then infinite_slot
+  else begin
+    if l < -Cost.payload_bias || l > Cost.payload_bias then
+      invalid_arg "Level_index: level exceeds the biased bucket range";
+    l + Cost.payload_bias
+  end
+
+let level_of_slot s =
+  if s = infinite_slot then Cost.infinite else s - Cost.payload_bias
+
+type t = {
+  universe : int;
+  level : int -> Cost.level;
+  slot : int array; (* current slot per candidate; -1 = no bucket *)
+  buckets : Bitset.t option array; (* lazily created *)
+  counts : int array;
+  mutable max_slot : int; (* highest non-empty slot, -1 when none *)
+  retired : Bitset.t;
+  dirty : Bitset.t;
+  mutable dirty_list : int list;
+}
+
+let create ~universe ~level =
+  {
+    universe;
+    level;
+    slot = Array.make (max 1 universe) (-1);
+    buckets = Array.make slots None;
+    counts = Array.make slots 0;
+    max_slot = -1;
+    retired = Bitset.create (max 1 universe);
+    dirty = Bitset.create (max 1 universe);
+    dirty_list = [];
+  }
+
+let bucket t s =
+  match t.buckets.(s) with
+  | Some b -> b
+  | None ->
+    let b = Bitset.create (max 1 t.universe) in
+    t.buckets.(s) <- Some b;
+    b
+
+let place t c s =
+  let cur = t.slot.(c) in
+  if cur <> s then begin
+    if cur >= 0 then begin
+      Bitset.remove (bucket t cur) c;
+      t.counts.(cur) <- t.counts.(cur) - 1
+    end;
+    t.slot.(c) <- s;
+    if s >= 0 then begin
+      Bitset.add (bucket t s) c;
+      t.counts.(s) <- t.counts.(s) + 1;
+      if s > t.max_slot then t.max_slot <- s
+    end;
+    (* the max cursor only needs repair when its bucket drained *)
+    while t.max_slot >= 0 && t.counts.(t.max_slot) = 0 do
+      t.max_slot <- t.max_slot - 1
+    done
+  end
+
+let add t c =
+  if c < 0 || c >= t.universe then invalid_arg "Level_index.add: out of range";
+  if not (Bitset.mem t.retired c) then place t c (slot_of_level (t.level c))
+
+let touch t c =
+  if (not (Bitset.mem t.retired c)) && not (Bitset.mem t.dirty c) then begin
+    Bitset.add t.dirty c;
+    t.dirty_list <- c :: t.dirty_list
+  end
+
+let retire t c =
+  if not (Bitset.mem t.retired c) then begin
+    Bitset.add t.retired c;
+    place t c (-1)
+  end
+
+let flush t =
+  if t.dirty_list <> [] then begin
+    List.iter
+      (fun c ->
+        if Bitset.mem t.dirty c then begin
+          Bitset.remove t.dirty c;
+          if not (Bitset.mem t.retired c) then
+            place t c (slot_of_level (t.level c))
+        end)
+      t.dirty_list;
+    t.dirty_list <- []
+  end
+
+let max_level t =
+  flush t;
+  if t.max_slot < 0 then Cost.useless else level_of_slot t.max_slot
+
+let iter_at t l f =
+  flush t;
+  let s = slot_of_level l in
+  if s >= 0 && t.counts.(s) > 0 then Bitset.iter f (bucket t s)
+
+let candidates_at t l =
+  let acc = ref [] in
+  iter_at t l (fun c -> acc := c :: !acc);
+  List.rev !acc
+
+let histogram t =
+  flush t;
+  let acc = ref [] in
+  for s = slots - 1 downto 0 do
+    if t.counts.(s) > 0 then acc := (level_of_slot s, t.counts.(s)) :: !acc
+  done;
+  !acc

@@ -1,0 +1,55 @@
+(** Incremental candidate index for the §2.1 covering engines.
+
+    Every engine iteration needs "the maximum rounded cost-effectiveness
+    level over live candidates" and "all candidates at that level, in
+    ascending id order".  Rescanning every candidate makes each iteration
+    O(m); this index keeps candidates bucketed by {!Cost.level} and is
+    updated in O(changed) on coverage flips, so both queries cost
+    O(answer).
+
+    The index is deliberately lazy: {!touch} only marks a candidate
+    dirty, and the recompute-and-rebucket happens at the next query.  A
+    candidate whose coverage count drops several times between queries
+    is re-levelled once.
+
+    Enumeration order is the determinism guardrail of the engines:
+    {!candidates_at} and {!iter_at} always yield ascending candidate
+    ids, exactly matching the full scans they replace, so seeded runs
+    are byte-identical. *)
+
+type t
+
+val create : universe:int -> level:(int -> Cost.level) -> t
+(** [create ~universe ~level] is an empty index over candidate ids
+    [0 .. universe-1].  [level c] must return the {e current} level of
+    candidate [c]; it is consulted on {!add} and when flushing dirty
+    candidates. *)
+
+val add : t -> int -> unit
+(** [add t c] registers candidate [c] at its current level.  Candidates
+    at {!Cost.useless} are tracked but sit in no bucket (they surface
+    automatically if a later {!touch} finds them improved). *)
+
+val touch : t -> int -> unit
+(** [touch t c] marks that [c]'s level may have changed.  O(1); the
+    rebucketing is deferred to the next query.  No-op for retired
+    candidates. *)
+
+val retire : t -> int -> unit
+(** [retire t c] permanently removes [c] (chosen, or otherwise out of
+    play).  Retired candidates never reappear. *)
+
+val max_level : t -> Cost.level
+(** The maximum level over live candidates; {!Cost.useless} when no
+    candidate covers anything. *)
+
+val candidates_at : t -> Cost.level -> int list
+(** All live candidates at exactly the given level, ascending. *)
+
+val iter_at : t -> Cost.level -> (int -> unit) -> unit
+(** [iter_at t l f] applies [f] to the live candidates at level [l] in
+    ascending id order. *)
+
+val histogram : t -> (Cost.level * int) list
+(** Occupied levels with their candidate counts, ascending by level —
+    the census the tracing layer reports each iteration. *)

@@ -28,72 +28,69 @@ type result = {
   forced : int;
 }
 
-(* Mutable per-run state shared by the iteration steps. *)
+(* Mutable per-run state shared by the iteration steps.
+
+   The fundamental paths are static: each non-tree edge's LCA is computed
+   exactly once, at [augment] start, and flattened into two CSR maps —
+   edge → path vertices and vertex → covering edges.  |Ce| then lives in
+   an array updated incrementally on coverage flips, and the per-level
+   candidate sets in a {!Level_index}, so an iteration touches only what
+   changed instead of rescanning every non-tree edge. *)
 type state = {
   g : Graph.t;
   tree : Rooted_tree.t;
   root : int;
   covered : bool array; (* tree edge below vertex x, indexed by x *)
-  jump : int array;     (* skip pointer over covered edges, towards root *)
   mutable uncovered : int;
   a : Bitset.t;
   best : (int * int * int) array; (* per vertex: (rank, edge id, |Ce|) of its vote *)
   mutable cost_sum : float;
+  ce : int array;       (* per non-tree edge: uncovered tree edges on its path *)
+  path_off : int array; (* CSR edge -> path vertices, offsets (size m+1) *)
+  path_v : int array;
+  cov_off : int array;  (* CSR vertex -> covering non-tree edges, offsets *)
+  cov_e : int array;
+  index : Level_index.t;
 }
-
-let rec find st x =
-  if x = st.root || not st.covered.(x) then x
-  else begin
-    let r = find st st.jump.(x) in
-    st.jump.(x) <- r;
-    r
-  end
 
 (* visit every uncovered tree edge on the fundamental path of [e] *)
 let iter_uncovered_on_path st e visit =
-  let u, v = Graph.endpoints st.g e in
-  let l = Rooted_tree.lca st.tree u v in
-  let ld = Rooted_tree.depth st.tree l in
-  let rec walk x =
-    let x = find st x in
-    if Rooted_tree.depth st.tree x > ld then begin
-      visit x;
-      walk (Rooted_tree.parent st.tree x)
-    end
-  in
-  walk u;
-  walk v
+  for i = st.path_off.(e) to st.path_off.(e + 1) - 1 do
+    let x = st.path_v.(i) in
+    if not st.covered.(x) then visit x
+  done
 
 let cover_edge st x =
   if not st.covered.(x) then begin
     st.covered.(x) <- true;
-    st.jump.(x) <- Rooted_tree.parent st.tree x;
-    st.uncovered <- st.uncovered - 1
+    st.uncovered <- st.uncovered - 1;
+    for i = st.cov_off.(x) to st.cov_off.(x + 1) - 1 do
+      let e = st.cov_e.(i) in
+      st.ce.(e) <- st.ce.(e) - 1;
+      Level_index.touch st.index e
+    done
   end
-
-(* |Ce| of every non-tree edge, via uncovered-prefix counts to the root *)
-let uncovered_counts st =
-  let n = Graph.n st.g in
-  let cnt = Array.make n 0 in
-  Array.iter
-    (fun v ->
-      if v <> st.root then
-        cnt.(v) <-
-          cnt.(Rooted_tree.parent st.tree v) + (if st.covered.(v) then 0 else 1))
-    (Rooted_tree.preorder st.tree);
-  fun e ->
-    let u, v = Graph.endpoints st.g e in
-    cnt.(u) + cnt.(v) - (2 * cnt.(Rooted_tree.lca st.tree u v))
 
 (* ----- the real communication pattern of one iteration (§3.1) ----- *)
 
-let charge_iteration ledger ~bfs_forest segments st =
+(* the per-iteration §3.1 exchange pattern is static: one message per
+   non-tree edge, emitted by its smaller endpoint.  Built once per run. *)
+let exchange_sends tree g =
+  let n = Graph.n g in
+  Array.init n (fun v ->
+      Array.to_list (Graph.adj g v)
+      |> List.filter_map (fun (nb, id) ->
+             if (not (Rooted_tree.is_tree_edge tree id)) && v < nb then
+               Some { Network.edge = id; payload = [| 0 |] }
+             else None))
+
+let charge_iteration ledger ~bfs_forest segments ~exch st =
   let tree = st.tree in
   let wf = Segments.wave_forest segments in
   (* Claim 3.2 dissemination: per-segment root-path pipeline carrying
      (tree edge, covered bit) *)
   ignore
-    (Prim.down_pipeline ledger wf ~emit:(fun v ->
+    (Prim.down_pipeline ~record:false ledger wf ~emit:(fun v ->
          let pe = Rooted_tree.parent_edge tree v in
          if pe < 0 then []
          else [ [| pe; (if st.covered.(v) then 1 else 0) |] ]));
@@ -112,17 +109,11 @@ let charge_iteration ledger ~bfs_forest segments st =
   let bfs_root = List.hd bfs_forest.Forest.roots in
   let summary = results.(bfs_root) in
   ignore
-    (Prim.broadcast_list ledger bfs_forest ~items:(fun _ ->
+    (Prim.broadcast_list ~record:false ledger bfs_forest ~items:(fun _ ->
          [| 0; 0 |] :: List.map (fun (k, p) -> [| k; p.(0) |]) summary));
   (* one round in which the endpoints of every candidate edge exchange
      their path knowledge summaries (cases 1–3 of the CE computation) *)
-  ignore
-    (Prim.exchange ledger st.g (fun v ->
-         Array.to_list (Graph.adj st.g v)
-         |> List.filter_map (fun (nb, id) ->
-                if (not (Rooted_tree.is_tree_edge tree id)) && v < nb then
-                  Some { Network.edge = id; payload = [| 0 |] }
-                else None)))
+  ignore (Prim.exchange ledger st.g (fun v -> exch.(v)))
 
 let charge_global_max ledger ~bfs_forest level =
   (* O(D): convergecast the maximum level, broadcast it back *)
@@ -131,7 +122,7 @@ let charge_global_max ledger ~bfs_forest level =
          [| List.fold_left (fun acc k -> max acc k.(0)) 0 kids |]));
   ignore
     (Prim.wave_down ledger bfs_forest
-       ~root_value:(fun _ -> [| (level : Cost.level :> int) land 0xff |])
+       ~root_value:(fun _ -> [| Cost.to_payload level |])
        ~derive:(fun _ ~parent_value -> parent_value))
 
 (* ----------------------------------------------------------------- *)
@@ -144,19 +135,7 @@ let augment ?config ledger rng ~bfs_forest segments =
   let n = Graph.n g in
   let config = match config with Some c -> c | None -> default_config n in
   if config.vote_divisor < 1 then invalid_arg "Tap: vote_divisor must be >= 1";
-  let st =
-    {
-      g;
-      tree;
-      root = Rooted_tree.root tree;
-      covered = Array.make n false;
-      jump = Array.init n Fun.id;
-      uncovered = n - 1;
-      a = Graph.no_edges_mask g;
-      best = Array.make n (max_int, max_int, 0);
-      cost_sum = 0.0;
-    }
-  in
+  let m = Graph.m g in
   let non_tree =
     Graph.fold_edges
       (fun e acc ->
@@ -165,15 +144,92 @@ let augment ?config ledger rng ~bfs_forest segments =
       g []
     |> List.rev
   in
+  (* flatten every fundamental path once: one LCA per non-tree edge ever *)
+  let lca_depth = Array.make m 0 in
+  let path_off = Array.make (m + 1) 0 in
+  let cov_cnt = Array.make n 0 in
+  List.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      let l = Rooted_tree.lca tree u v in
+      let ld = Rooted_tree.depth tree l in
+      lca_depth.(e) <- ld;
+      let count x0 =
+        let c = ref 0 and x = ref x0 in
+        while Rooted_tree.depth tree !x > ld do
+          incr c;
+          cov_cnt.(!x) <- cov_cnt.(!x) + 1;
+          x := Rooted_tree.parent tree !x
+        done;
+        !c
+      in
+      path_off.(e + 1) <- count u + count v)
+    non_tree;
+  for e = 0 to m - 1 do
+    path_off.(e + 1) <- path_off.(e + 1) + path_off.(e)
+  done;
+  let cov_off = Array.make (n + 1) 0 in
+  for x = 0 to n - 1 do
+    cov_off.(x + 1) <- cov_off.(x) + cov_cnt.(x)
+  done;
+  let total = path_off.(m) in
+  let path_v = Array.make (max 1 total) 0 in
+  let cov_e = Array.make (max 1 total) 0 in
+  let cov_fill = Array.sub cov_off 0 n in
+  List.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      let ld = lca_depth.(e) in
+      let w = ref path_off.(e) in
+      let fill x0 =
+        let x = ref x0 in
+        while Rooted_tree.depth tree !x > ld do
+          path_v.(!w) <- !x;
+          incr w;
+          cov_e.(cov_fill.(!x)) <- e;
+          cov_fill.(!x) <- cov_fill.(!x) + 1;
+          x := Rooted_tree.parent tree !x
+        done
+      in
+      fill u;
+      fill v)
+    non_tree;
+  let ce = Array.make m 0 in
+  List.iter (fun e -> ce.(e) <- path_off.(e + 1) - path_off.(e)) non_tree;
+  let index =
+    Level_index.create ~universe:m ~level:(fun e ->
+        Cost.level ~covered:ce.(e) ~weight:(Graph.weight g e))
+  in
+  List.iter (Level_index.add index) non_tree;
+  let st =
+    {
+      g;
+      tree;
+      root = Rooted_tree.root tree;
+      covered = Array.make n false;
+      uncovered = n - 1;
+      a = Graph.no_edges_mask g;
+      best = Array.make n (max_int, max_int, 0);
+      cost_sum = 0.0;
+      ce;
+      path_off;
+      path_v;
+      cov_off;
+      cov_e;
+      index;
+    }
+  in
   (* §3: all weight-0 edges join A up front; their paths are covered *)
   List.iter
     (fun e ->
       if Graph.weight g e = 0 then begin
         Bitset.add st.a e;
+        Level_index.retire st.index e;
         iter_uncovered_on_path st e (cover_edge st)
       end)
     non_tree;
-  charge_iteration ledger ~bfs_forest segments st;
+  let exch = exchange_sends tree g in
+  charge_iteration ledger ~bfs_forest segments ~exch st;
   Events.instance_size tr ~algo:"tap" ~n;
   let trace = ref [] in
   let iteration = ref 0 in
@@ -184,31 +240,14 @@ let augment ?config ledger rng ~bfs_forest segments =
     if !iteration > config.max_iterations + n then
       failwith "Tap.augment: graph is not 2-edge-connected (uncoverable edge)";
     Events.iteration_begin tr ~algo:"tap" ~index:!iteration;
-    let ce = uncovered_counts st in
-    (* candidate selection at the maximum rounded cost-effectiveness *)
-    let levels =
-      List.filter_map
-        (fun e ->
-          if Bitset.mem st.a e then None
-          else
-            let l = Cost.level ~covered:(ce e) ~weight:(Graph.weight g e) in
-            if Cost.is_candidate_level l then Some (e, l) else None)
-        non_tree
-    in
-    if levels = [] then
+    (* candidate selection at the maximum rounded cost-effectiveness —
+       O(answer) queries against the incrementally maintained index *)
+    let max_level = Level_index.max_level st.index in
+    if not (Cost.is_candidate_level max_level) then
       failwith "Tap.augment: graph is not 2-edge-connected (uncoverable edge)";
-    let max_level = Cost.max_level (List.map snd levels) in
-    let candidates = List.filter (fun (_, l) -> l = max_level) levels in
+    let candidates = Level_index.candidates_at st.index max_level in
     if Trace.enabled tr then begin
-      let by_level = Hashtbl.create 8 in
-      List.iter
-        (fun (_, l) ->
-          Hashtbl.replace by_level l
-            (1 + Option.value ~default:0 (Hashtbl.find_opt by_level l)))
-        levels;
-      Events.level_histogram tr ~algo:"tap"
-        (Hashtbl.fold (fun l c acc -> (l, c) :: acc) by_level []
-        |> List.sort compare);
+      Events.level_histogram tr ~algo:"tap" (Level_index.histogram st.index);
       Events.candidate_census tr ~algo:"tap" ~level:max_level
         ~candidates:(List.length candidates)
     end;
@@ -218,13 +257,14 @@ let augment ?config ledger rng ~bfs_forest segments =
     if !iteration > config.max_iterations then begin
       (* unconditional-termination fallback: a single greedy addition *)
       incr forced;
-      let e, _ = List.hd candidates in
-      added := [ e ]
+      added := [ List.hd candidates ]
     end
     else begin
       (* ranks, votes, threshold — §3 lines 3–5 *)
       let ranked =
-        List.map (fun (e, _) -> (e, Rng.int rng rank_bound + 1, ce e)) candidates
+        List.map
+          (fun e -> (e, Rng.int rng rank_bound + 1, st.ce.(e)))
+          candidates
       in
       List.iter
         (fun (e, r, c) ->
@@ -272,15 +312,16 @@ let augment ?config ledger rng ~bfs_forest segments =
     if Trace.enabled tr then
       List.iter
         (fun e ->
-          Events.rho_audit tr ~algo:"tap" ~edge:e ~covered:(ce e)
+          Events.rho_audit tr ~algo:"tap" ~edge:e ~covered:st.ce.(e)
             ~weight:(Graph.weight g e) ~level:max_level)
         !added;
     List.iter
       (fun e ->
         Bitset.add st.a e;
+        Level_index.retire st.index e;
         iter_uncovered_on_path st e (cover_edge st))
       !added;
-    charge_iteration ledger ~bfs_forest segments st;
+    charge_iteration ledger ~bfs_forest segments ~exch st;
     Events.iteration_end tr ~algo:"tap" ~added:(List.length !added)
       ~remaining:st.uncovered;
     trace :=

@@ -16,9 +16,11 @@ let int_in t lo hi =
   if lo > hi then invalid_arg "Rng.int_in: empty range";
   lo + Random.State.int t (hi - lo + 1)
 
-let int64 t = Random.State.int64 t Int64.max_int |> fun x ->
-  (* fill the top bit too so labels use all 64 bits *)
-  if Random.State.bool t then Int64.logor x Int64.min_int else x
+(* [Random.State.bits64] is uniform over all 2^64 values.  The previous
+   [int64 max_int] + sign-bit construction could never produce -1L or
+   [Int64.max_int]: the magnitude draw was exclusive of [max_int], so
+   both values needing it were unreachable. *)
+let int64 t = Random.State.bits64 t
 
 let float t bound = Random.State.float t bound
 let bool t = Random.State.bool t

@@ -65,6 +65,23 @@ let framework_tests =
                   <= (float_of_int divisor *. r.Cover.cost_sum) +. 1e-6))
             [ 2; 4; 8 ]
         done);
+    case "truncated run falls back to forced greedy" (fun () ->
+        (* with the iteration budget exhausted immediately, the
+           unconditional-termination fallback must still return a valid
+           cover, via forced greedy steps, without a weight blowup *)
+        let rng = Rng.create ~seed:5 in
+        let p = random_problem rng ~elements:50 ~candidates:16 ~max_w:9 in
+        let total =
+          List.init p.Cover.candidates p.Cover.weight
+          |> List.fold_left ( + ) 0
+        in
+        List.iter
+          (fun (name, s) ->
+            let r = Cover.solve ~max_iterations:0 (Rng.create ~seed:6) p s in
+            check_is (name ^ " forced steps fired") (r.Cover.forced > 0);
+            check_is (name ^ " still a cover") (Cover.is_cover p r.Cover.chosen);
+            check_is (name ^ " weight sane") (r.Cover.weight <= total))
+          strategies);
     case "greedy is a cover and a decent yardstick" (fun () ->
         let rng = Rng.create ~seed:3 in
         let p = random_problem rng ~elements:60 ~candidates:20 ~max_w:5 in

@@ -39,6 +39,28 @@ let rng_tests =
           check_is "p=1" (Rng.bernoulli r 1.0);
           check_is "p=0" (not (Rng.bernoulli r 0.0))
         done);
+    case "int64 is a full-width draw" (fun () ->
+        (* regression: the old [int64 max_int] + sign-bit construction
+           could never yield -1L or Int64.max_int; the fix draws one
+           uniform 64-bit word.  The golden values pin that down. *)
+        let r = Rng.create ~seed:1 in
+        Alcotest.(check int64) "seed 1, draw 1" 3556019444436774532L
+          (Rng.int64 r);
+        Alcotest.(check int64) "seed 1, draw 2" 1358568322140096773L
+          (Rng.int64 r);
+        let r = Rng.create ~seed:42 in
+        Alcotest.(check int64) "seed 42, draw 1" 3076811339059271267L
+          (Rng.int64 r);
+        (* every bit position takes both values over a modest sample *)
+        let r = Rng.create ~seed:7 in
+        let ones = ref 0L and zeros = ref 0L in
+        for _ = 1 to 256 do
+          let x = Rng.int64 r in
+          ones := Int64.logor !ones x;
+          zeros := Int64.logor !zeros (Int64.lognot x)
+        done;
+        Alcotest.(check int64) "all bits hit 1" (-1L) !ones;
+        Alcotest.(check int64) "all bits hit 0" (-1L) !zeros);
   ]
 
 (* ---------- Union_find ---------- *)
@@ -152,6 +174,34 @@ let bitset_tests =
           (fun () -> Bitset.add s 10);
         Alcotest.check_raises "mem" (Invalid_argument "Bitset: index out of universe")
           (fun () -> ignore (Bitset.mem s (-1))));
+    case "word boundaries" (fun () ->
+        (* the packed representation stores 63 members per word; exercise
+           the seams at 62/63/64 and the last partial word *)
+        List.iter
+          (fun n ->
+            let s = Bitset.create n in
+            for i = 0 to n - 1 do
+              Bitset.add s i
+            done;
+            check_int "cardinal full" n (Bitset.cardinal s);
+            check_is "equal full" (Bitset.equal s (Bitset.full n));
+            Alcotest.(check (list int))
+              "elements ascending"
+              (List.init n Fun.id)
+              (Bitset.elements s);
+            Bitset.remove s (n - 1);
+            check_int "cardinal minus top" (n - 1) (Bitset.cardinal s);
+            check_is "top removed" (not (Bitset.mem s (n - 1)));
+            Bitset.clear s;
+            check_is "cleared" (Bitset.is_empty s))
+          [ 1; 62; 63; 64; 126; 127; 200 ];
+        let s = Bitset.create 127 in
+        Bitset.add s 62;
+        Bitset.add s 63;
+        Bitset.add s 126;
+        Alcotest.(check (list int))
+          "straddles words" [ 62; 63; 126 ] (Bitset.elements s);
+        check_int "sparse cardinal" 3 (Bitset.cardinal s));
     qcheck
       (QCheck.Test.make ~name:"set algebra agrees with stdlib sets" ~count:200
          QCheck.(

@@ -56,6 +56,24 @@ let augk_tests =
         (match run_augk g ~h:(Rooted_tree.edges_mask tree) ~k:3 with
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "expected Invalid_argument"));
+    case "active_weight counts each edge once (A' is a set)" (fun () ->
+        (* an edge can be activated in many iterations; the §4.2 charging
+           set A' is a set, so the total must be bounded by the weight of
+           all distinct non-tree edges *)
+        List.iter
+          (fun (name, g) ->
+            let mst = Kecss_baselines.Greedy.kecss g ~k:1 in
+            let r, _ = run_augk g ~h:mst ~k:2 in
+            let non_tree = ref 0 in
+            Graph.iter_edges
+              (fun e ->
+                if not (Bitset.mem mst e.Graph.id) then
+                  non_tree := !non_tree + e.Graph.w)
+              g;
+            check_is (name ^ " distinct bound") (r.Augk.active_weight <= !non_tree);
+            check_is (name ^ " covers A")
+              (r.Augk.active_weight >= Graph.mask_weight g r.Augk.augmentation))
+          (k_pool 3));
     case "augmentation per level is a forest (Claim 4.1)" (fun () ->
         List.iter
           (fun (name, g) ->

@@ -42,6 +42,21 @@ let cost_tests =
     case "max_level" (fun () ->
         check_is "empty" (Cost.max_level [] = Cost.useless);
         check_int "picks max" 5 (Cost.max_level [ 2; 5; -3 ]));
+    case "payload encoding round-trips" (fun () ->
+        List.iter
+          (fun l ->
+            check_is "round trip" (Cost.of_payload (Cost.to_payload l) = l))
+          [ Cost.useless; Cost.infinite; 0; 1; -1; 17; -42; 64; -64 ];
+        (* negative levels must survive the trip — the old [land 0xff]
+           broadcast mangled them *)
+        check_is "negative distinct from positive"
+          (Cost.to_payload (-3) <> Cost.to_payload 3);
+        Alcotest.check_raises "overflow rejected"
+          (Invalid_argument "Cost.to_payload: level exceeds the biased range")
+          (fun () -> ignore (Cost.to_payload 65));
+        Alcotest.check_raises "bad payload rejected"
+          (Invalid_argument "Cost.of_payload: not an encoded level")
+          (fun () -> ignore (Cost.of_payload (-1))));
   ]
 
 let tap_tests =
@@ -136,6 +151,19 @@ let tap_tests =
               (Printf.sprintf "divisor %d 2EC" vote_divisor)
               (Dfs.is_two_edge_connected ~mask:sol g))
           [ 1; 2; 4; 16 ]);
+    case "truncated run falls back to forced greedy" (fun () ->
+        (* exhaust the iteration budget immediately: the unconditional
+           termination fallback must still produce a valid 2EC
+           augmentation via forced steps, with no cost blowup *)
+        let g = List.assoc "rand30" (two_ec_pool ()) in
+        let config = { (Tap.default_config (Graph.n g)) with max_iterations = 0 } in
+        let tap, mst, _, _ = run_tap ~config g in
+        check_is "forced steps fired" (tap.Tap.forced > 0);
+        let sol = Bitset.copy mst.Mst.mask in
+        Bitset.union_into sol tap.Tap.augmentation;
+        check_is "still 2EC" (Dfs.is_two_edge_connected ~mask:sol g);
+        check_is "no cost blowup"
+          (Graph.mask_weight g tap.Tap.augmentation <= Graph.total_weight g));
     case "fails on a graph that is not 2EC" (fun () ->
         let g = Weights.uniform (Rng.create ~seed:3) ~lo:1 ~hi:5 (Gen.lollipop 5 3) in
         (match run_tap g with
