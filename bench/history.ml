@@ -22,6 +22,7 @@ type exp_summary = {
 
 type entry = {
   rev : string;
+  jobs : int; (* pool size the run used; 1 for pre-parallel entries *)
   tests : (string * float) list; (* microbenchmark -> time/run in ns *)
   experiments : (string * exp_summary) list;
 }
@@ -58,6 +59,7 @@ let entry_to_json e =
     [
       ("schema", Json.Str schema_version);
       ("rev", Json.Str e.rev);
+      ("jobs", Json.Int e.jobs);
       ( "tests",
         Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) e.tests)
       );
@@ -96,6 +98,12 @@ let entry_of_json j =
       | Some r -> r
       | None -> "?"
     in
+    (* entries written before the parallel layer carry no jobs field *)
+    let jobs =
+      match Option.bind (Json.member "jobs" j) Json.to_int_opt with
+      | Some n when n >= 1 -> n
+      | _ -> 1
+    in
     let obj_fields key =
       match Json.member key j with Some (Json.Obj fields) -> fields | _ -> []
     in
@@ -107,7 +115,7 @@ let entry_of_json j =
     let experiments =
       List.map (fun (id, v) -> (id, exp_of_json v)) (obj_fields "experiments")
     in
-    Ok { rev; tests; experiments }
+    Ok { rev; jobs; tests; experiments }
   | Some (Json.Str s) -> Error ("unsupported history schema: " ^ s)
   | _ -> Error "entry has no schema field"
 
@@ -166,6 +174,13 @@ let compare ~threshold ~old_e ~new_e =
   in
   Printf.printf "comparing %s (old) -> %s (new), threshold %.0f%%\n" old_e.rev
     new_e.rev (100.0 *. threshold);
+  (* simulated costs are jobs-invariant by the determinism contract, but
+     wall-clock rows are not: flag apples-to-oranges timing comparisons *)
+  if old_e.jobs <> new_e.jobs then
+    Printf.printf
+      "note: pool sizes differ (old jobs=%d, new jobs=%d); wall-clock deltas \
+       are not comparable\n"
+      old_e.jobs new_e.jobs;
   if new_e.tests <> [] || old_e.tests <> [] then begin
     Printf.printf "%-44s %12s %12s %8s %s\n" "benchmark" "old" "new" "delta"
       "verdict";

@@ -129,12 +129,61 @@ let hot_tests ?filter () =
           (Augk.augment (Rounds.create ()) (Rng.create ~seed:2) ~bfs_forest g ~h
              ~k))
   in
+  (* the parallel layer's hot paths at pinned pool sizes: the j1/j4 pair
+     of each row measures the multicore speedup directly (results are
+     identical by the determinism contract, only the wall clock moves).
+     Explicit pools, so the rows are independent of --jobs. *)
+  let mincut_par ~jobs =
+    let g = W.weighted_random ~n:96 ~k:3 in
+    let lam = Kecss_connectivity.Edge_connectivity.lambda ~upper:3 g in
+    let pool = Kecss_par.Pool.create ~jobs in
+    stage (fun () ->
+        ignore
+          (Kecss_connectivity.Min_cut_enum.enumerate ~trials:20_000 ~pool
+             ~rng:(Rng.create ~seed:3) g ~size:lam))
+  in
+  let resilience_par ~jobs =
+    let g = W.weighted_random ~n:64 ~k:3 in
+    let h = Graph.all_edges_mask g in
+    let pool = Kecss_par.Pool.create ~jobs in
+    stage (fun () ->
+        ignore
+          (Kecss_faults.Resilience.attack ~trials:64 ~rng:(Rng.create ~seed:7)
+             ~pool g ~h ~k:3))
+  in
+  let net_round_par ~jobs =
+    (* a round-driven program whose step does real local work on a graph
+       large enough that every pass shards the full vertex set *)
+    let g = W.weighted_random ~n:2048 ~k:2 in
+    let pool = Kecss_par.Pool.create ~jobs in
+    let rounds = 24 in
+    let program : int Network.program =
+      {
+        init = (fun v -> v);
+        step =
+          (fun ~round v s _inbox ->
+            let acc = ref s in
+            for i = 1 to 400 do
+              acc := ((!acc * 48271) + i + v) land 0x3FFFFFFF
+            done;
+            ignore !acc;
+            ([], if round + 1 < rounds then `Active else `Idle));
+      }
+    in
+    stage (fun () -> ignore (Network.run_counted ~pool g program))
+  in
   List.filter_map
     (fun (name, mk) -> if keep name then Some (Test.make ~name (mk ())) else None)
     [
       ("hot/tap-aug-n2048", fun () -> tap_hot 2048);
       ("hot/tap-aug-n4096", fun () -> tap_hot 4096);
       ("hot/augk-k3-n96", fun () -> augk_hot 96 ~k:3);
+      ("hot/mincut-par-j1", fun () -> mincut_par ~jobs:1);
+      ("hot/mincut-par-j4", fun () -> mincut_par ~jobs:4);
+      ("hot/resilience-par-j1", fun () -> resilience_par ~jobs:1);
+      ("hot/resilience-par-j4", fun () -> resilience_par ~jobs:4);
+      ("hot/net-round-par-j1", fun () -> net_round_par ~jobs:1);
+      ("hot/net-round-par-j4", fun () -> net_round_par ~jobs:4);
     ]
 
 (* hot kernels underneath everything *)
@@ -331,7 +380,7 @@ let representative_solves () =
           Kecss_baselines.Lower_bound.best g ~k:3 ));
   ]
 
-let write_metrics_json runs path =
+let write_metrics_json ~jobs runs path =
   let module Obs = Kecss_obs in
   let categories kvs =
     Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs)
@@ -355,6 +404,7 @@ let write_metrics_json runs path =
     Obs.Json.Obj
       [
         ("schema", Obs.Json.Str "kecss-bench-metrics/1");
+        ("jobs", Obs.Json.Int jobs);
         ("solves", Obs.Json.Obj solves);
       ]
   in
@@ -364,9 +414,10 @@ let write_metrics_json runs path =
   close_out oc;
   Printf.printf "telemetry for representative solves -> %s\n" path
 
-let history_entry ~rev micro_rows runs =
+let history_entry ~rev ~jobs micro_rows runs =
   {
     History.rev;
+    jobs;
     tests = List.filter (fun (_, ns) -> not (Float.is_nan ns)) micro_rows;
     experiments =
       List.map
@@ -400,12 +451,13 @@ type opts = {
   rev : string option;
   compare_with : string option;
   threshold : float;
+  jobs : int option;
 }
 
 let usage =
   "usage: main.exe [--quick] [--exp ID]... [--micro-only] [--no-micro]\n\
   \       [--micro-filter SUBSTRING] [--metrics-out FILE]\n\
-  \       [--history-out FILE] [--rev REV]\n\
+  \       [--history-out FILE] [--rev REV] [--jobs N]\n\
   \       [--compare OLD.json] [--threshold FRACTION]\n"
 
 let () =
@@ -430,6 +482,12 @@ let () =
       | _ ->
         Printf.eprintf "--threshold expects a non-negative fraction\n%s" usage;
         exit 2)
+    | "--jobs" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 -> parse { o with jobs = Some j } rest
+      | _ ->
+        Printf.eprintf "--jobs expects an integer >= 1\n%s" usage;
+        exit 2)
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n%s" arg usage;
       exit 2
@@ -447,9 +505,14 @@ let () =
         rev = None;
         compare_with = None;
         threshold = 0.10;
+        jobs = None;
       }
       args
   in
+  (match o.jobs with
+  | Some j -> Kecss_par.Pool.set_default_jobs j
+  | None -> ());
+  let jobs = Kecss_par.Pool.default_jobs () in
   if not o.micro_only then begin
     let targets =
       match o.exps with
@@ -472,9 +535,10 @@ let () =
     else []
   in
   let runs = representative_solves () in
-  write_metrics_json runs (Option.value o.mpath ~default:"bench-metrics.json");
+  write_metrics_json ~jobs runs
+    (Option.value o.mpath ~default:"bench-metrics.json");
   let rev = Option.value o.rev ~default:(History.default_rev ()) in
-  let entry = history_entry ~rev micro_rows runs in
+  let entry = history_entry ~rev ~jobs micro_rows runs in
   (* --quick runs are the CI-tracked configuration, so they always append
      to the history; otherwise history is opt-in via --history-out *)
   (match

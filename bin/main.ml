@@ -40,6 +40,22 @@ let k_arg =
   let doc = "Target edge connectivity k." in
   Arg.(value & opt int 2 & info [ "k" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel execution layer. Defaults to the \
+     KECSS_JOBS environment variable, then the machine's recommended \
+     domain count. Every result is bit-identical at every value; \
+     $(docv) = 1 disables parallelism entirely."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | None -> Ok ()
+  | Some j when j >= 1 ->
+    Kecss_par.Pool.set_default_jobs j;
+    Ok ()
+  | Some _ -> Error "--jobs must be >= 1"
+
 (* ------------------------------------------------------------------ *)
 (* telemetry plumbing                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -279,7 +295,10 @@ let run_algo ledger ~algo ~k ~seed g =
     | None -> failwith "graph is not k-edge-connected")
   | a -> failwith ("unknown algorithm: " ^ a)
 
-let solve path algo k seed quiet faults trace_path metrics_on monitor_mode =
+let solve path algo k seed jobs quiet faults trace_path metrics_on monitor_mode =
+  match apply_jobs jobs with
+  | Error msg -> `Error (false, msg)
+  | Ok () ->
   match parse_faults faults with
   | Error msg -> `Error (false, msg)
   | Ok plan ->
@@ -346,8 +365,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Compute an approximate minimum k-ECSS.")
     Term.(
       ret
-        (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ quiet $ faults_arg
-       $ trace_arg $ metrics_arg $ monitor_arg))
+        (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ jobs_arg $ quiet
+       $ faults_arg $ trace_arg $ metrics_arg $ monitor_arg))
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -515,13 +534,16 @@ let audit_cmd =
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let experiment ids list_only faults trace_path metrics_on monitor_mode =
+let experiment ids list_only jobs faults trace_path metrics_on monitor_mode =
   let module E = Kecss_experiments.Experiments in
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-14s %s\n" e.E.id e.E.title) E.all;
     `Ok ()
   end
   else begin
+    match apply_jobs jobs with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
     match parse_faults faults with
     | Error msg -> `Error (false, msg)
     | Ok plan ->
@@ -533,17 +555,22 @@ let experiment ids list_only faults trace_path metrics_on monitor_mode =
        exported trace covers the whole run; with the monitor alone the
        snapshot tables keep their own per-experiment metrics, as the
        default factory gives them. A fault injector is likewise shared, so
-       scheduled crash/cut rounds are on the suite's cumulative clock *)
+       scheduled crash/cut rounds are on the suite's cumulative clock.
+       Shared sinks also mean experiment cells may no longer run
+       concurrently: their events must arrive in program order, on one
+       domain *)
     if trace_path <> None || metrics_on || monitor_mode <> None
        || Option.is_some injector
-    then
+    then begin
+      E.set_cells_inline true;
       E.set_ledger_factory (fun () ->
           let metrics =
             if metrics_on || trace_path <> None then metrics
             else Kecss_obs.Metrics.create ()
           in
           Kecss_congest.Rounds.create ~trace ~metrics
-            ?hook:(injector_hook injector) ());
+            ?hook:(injector_hook injector) ())
+    end;
     match
       let targets =
         match ids with
@@ -586,14 +613,17 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run reproduction experiments.")
     Term.(
       ret
-        (const experiment $ ids $ list_only $ faults_arg $ trace_arg
+        (const experiment $ ids $ list_only $ jobs_arg $ faults_arg $ trace_arg
        $ metrics_arg $ monitor_arg))
 
 (* ------------------------------------------------------------------ *)
 (* resilience                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let resilience path algo sol_path k seed trials json_out strict =
+let resilience path algo sol_path k seed jobs trials json_out strict =
+  match apply_jobs jobs with
+  | Error msg -> `Error (false, msg)
+  | Ok () ->
   match read_graph path with
   | exception Sys_error msg -> `Error (false, "cannot read graph: " ^ msg)
   | g ->
@@ -692,8 +722,8 @@ let resilience_cmd =
           lambda - (k-1). A Verify-passing solution must survive everything.")
     Term.(
       ret
-        (const resilience $ graph_arg $ algo $ sol $ k_arg $ seed_arg $ trials
-       $ json_out $ strict))
+        (const resilience $ graph_arg $ algo $ sol $ k_arg $ seed_arg
+       $ jobs_arg $ trials $ json_out $ strict))
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)

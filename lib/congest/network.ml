@@ -1,5 +1,6 @@
 open Kecss_graph
 open Kecss_obs
+module Pool = Kecss_par.Pool
 
 exception Message_too_large of { vertex : int; words : int }
 exception Duplicate_send of { vertex : int; edge : int }
@@ -8,6 +9,31 @@ exception
   Did_not_quiesce of { rounds : int; active : int; in_flight : int }
 
 let cap_words = 6
+
+(* Scratch for duplicate-send detection, persistent across runs in
+   domain-local storage: an edge is a duplicate iff its cell carries the
+   current sender's stamp. The stamp counter strictly increases across
+   runs, so stale cells from earlier runs (or the zeroed cells of a grown
+   buffer) can never match, and a run costs no O(m) allocation. *)
+type stamp_scratch = { mutable buf : int array; mutable last : int }
+
+let stamp_key = Domain.DLS.new_key (fun () -> { buf = [||]; last = 0 })
+
+let stamp_scratch m =
+  let s = Domain.DLS.get stamp_key in
+  if Array.length s.buf < m then s.buf <- Array.make m 0;
+  (* rollover guard: re-zero long before the counter could wrap (a run
+     bumps the stamp at most once per vertex per pass) *)
+  if s.last > max_int / 2 then begin
+    Array.fill s.buf 0 (Array.length s.buf) 0;
+    s.last <- 0
+  end;
+  s
+
+(* Below this many eligible vertices a round's step pass runs inline:
+   batch submission costs a few µs and the engine may run tens of
+   thousands of passes, so tiny rounds must not pay it. *)
+let par_threshold = 512
 
 type send = { edge : int; payload : int array }
 type 'a inbox = (int * 'a) list
@@ -27,7 +53,7 @@ type 's program = {
 }
 
 let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
-    g p =
+    ?pool g p =
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> (16 * n) + 10_000
@@ -44,10 +70,13 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
       active_count := !active_count + (if b then 1 else -1)
     end
   in
-  (* duplicate-send detection without a per-vertex hashtable: an edge is
-     a duplicate iff its cell already carries the current sender's stamp *)
-  let used_stamp = Array.make (max 1 (Graph.m g)) (-1) in
-  let stamp = ref 0 in
+  let scratch = stamp_scratch (max 1 (Graph.m g)) in
+  let used_stamp = scratch.buf in
+  let stamp = ref scratch.last in
+  (* per-vertex phase plan and step results: -1 the vertex is skipped
+     this pass, 0 it steps to (or is crash-stopped as) [`Idle], 1 it is
+     planned to step, 2 it stepped to [`Active] *)
+  let statuses = Array.make n (-1) in
   let sent : send list array = Array.make n [] in
   let in_flight = ref 0 in
   let round = ref 0 in
@@ -62,22 +91,47 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
     (match hook with Some h -> h.round_begin ~round:!round | None -> ());
     (* step pass: consume inboxes, collect sends.  Under [lazy_poll] the
        caller guarantees that stepping an idle vertex with an empty inbox
-       is a no-op returning ([], `Idle), so such calls are elided. *)
+       is a no-op returning ([], `Idle), so such calls are elided.
+
+       The pass is split so it can shard across the pool without changing
+       anything observable.  A sequential plan pass keeps all hook calls
+       ([alive], like everything else hook-related) on the engine domain
+       in ascending vertex order; the step phase then touches only
+       vertex-owned cells ([states.(v)] by mutation, [statuses.(v)],
+       [sent.(v)]), so sharding it is invisible; and [set_active] — the
+       shared active count — is applied sequentially afterwards, again in
+       vertex order. *)
+    let eligible = ref 0 in
     for v = 0 to n - 1 do
       if (not lazy_poll) || active.(v) || inboxes.(v) <> [] then begin
         let live =
           match hook with Some h -> h.alive ~round:!round v | None -> true
         in
         if live then begin
-          let sends, status = p.step ~round:!round v states.(v) inboxes.(v) in
-          set_active v (status = `Active);
-          sent.(v) <- sends
+          statuses.(v) <- 1;
+          incr eligible
         end
         else
-          (* crash-stop: the vertex neither steps nor sends, no longer wants
-             rounds, and its delivered messages are lost *)
-          set_active v false
+          (* crash-stop: the vertex neither steps nor sends, no longer
+             wants rounds, and its delivered messages are lost *)
+          statuses.(v) <- 0
       end
+      else statuses.(v) <- -1
+    done;
+    let step_vertex v =
+      if statuses.(v) = 1 then begin
+        let sends, status = p.step ~round:!round v states.(v) inboxes.(v) in
+        statuses.(v) <- (if status = `Active then 2 else 0);
+        sent.(v) <- sends
+      end
+    in
+    if !eligible >= par_threshold then Pool.parallel_for ?pool n step_vertex
+    else
+      for v = 0 to n - 1 do
+        step_vertex v
+      done;
+    for v = 0 to n - 1 do
+      if statuses.(v) >= 0 then set_active v (statuses.(v) = 2)
     done;
     (* all inboxes are consumed (skipped vertices had empty ones); reuse the
        array for next round's deliveries *)
@@ -89,6 +143,9 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
       | sends ->
         sent.(v) <- [];
         incr stamp;
+        (* persisted eagerly so a run aborted by an engine exception
+           cannot leave stale cells above the next run's stamps *)
+        scratch.last <- !stamp;
         List.iter
           (fun { edge; payload } ->
             let words = Array.length payload in
@@ -161,6 +218,6 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
   if observe then Metrics.run_end metrics ~quiesced:true ~rounds:!counted;
   (states, !counted, !messages)
 
-let run ?max_rounds g p =
-  let states, rounds, _ = run_counted ?max_rounds g p in
+let run ?max_rounds ?pool g p =
+  let states, rounds, _ = run_counted ?max_rounds ?pool g p in
   (states, rounds)

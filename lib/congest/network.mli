@@ -75,7 +75,12 @@ type 's program = {
       whether the vertex still wants rounds. State is updated by mutation. *)
 }
 
-val run : ?max_rounds:int -> Graph.t -> 's program -> 's array * int
+val run :
+  ?max_rounds:int ->
+  ?pool:Kecss_par.Pool.t ->
+  Graph.t ->
+  's program ->
+  's array * int
 (** [run g p] is [run_counted g p] without the message count. *)
 
 val run_counted :
@@ -83,6 +88,7 @@ val run_counted :
   ?hook:hook ->
   ?lazy_poll:bool ->
   ?max_rounds:int ->
+  ?pool:Kecss_par.Pool.t ->
   Graph.t ->
   's program ->
   's array * int * int
@@ -109,6 +115,13 @@ val run_counted :
     (keeping the engine from quiescing) until their delay elapses. The
     message total always counts sends, not deliveries, so it is
     unaffected by drops and duplications.
+    On large rounds (hundreds of vertices stepping) the step pass shards
+    across [?pool] (default {!Kecss_par.Pool.default}). Only the step
+    calls themselves run off the engine domain — each touches exclusively
+    its vertex's state, sends and status cell — while hook calls,
+    delivery, metrics and the active count stay sequential in vertex
+    order, so rounds, message totals, traces and final states are
+    byte-identical at every pool size.
     @raise Message_too_large on an oversized payload
     @raise Duplicate_send if a vertex sends twice on one edge in a round
     @raise Did_not_quiesce after [max_rounds] (default [16 * n + 10_000]). *)

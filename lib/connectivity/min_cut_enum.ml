@@ -1,4 +1,5 @@
 open Kecss_graph
+module Pool = Kecss_par.Pool
 
 type cut = { edge_ids : int list; side : Bitset.t }
 
@@ -71,29 +72,18 @@ let enumerate_bridges ?mask g =
       { edge_ids = [ b ]; side })
     (Dfs.bridges ?mask g)
 
-let enumerate ?mask ?trials ~rng g ~size =
-  if size = 1 then enumerate_bridges ?mask g
-  else begin
-  let n = Graph.n g in
-  let edge_ids = masked_edges ?mask g in
-  let trials =
-    match trials with
-    | Some t -> t
-    | None ->
-      let ln = int_of_float (ceil (log (float_of_int (max 2 n)))) in
-      3 * n * n * ln
-  in
-  (* The trial loop is the whole cost of §4's local preprocessing, so it
-     avoids all per-trial allocation beyond the union-find: the shuffle
-     buffer is refilled by blit (same rng draws as a fresh array), the
-     crossing test compares union-find roots directly, and the side
-     bitset is only materialized for cuts seen for the first time.
-     [masked_edges] is ascending, so the collected cut edge ids need no
-     sort, and the sorted list itself is the dedup key. *)
-  let base = Array.of_list edge_ids in
+(* One block of Karger trials with its own rng and scratch: the unit of
+   parallel fan-out. Returns the distinct cuts of exactly [size] crossing
+   edges found by these trials, in discovery order. The trial loop is the
+   whole cost of §4's local preprocessing, so it avoids all per-trial
+   allocation beyond the union-find: the shuffle buffer is refilled by
+   blit (same rng draws as a fresh array), the crossing test compares
+   union-find roots directly, and the side bitset is only materialized
+   for cuts seen for the first time. [base] is ascending, so the
+   collected cut edge ids need no sort, and the sorted list itself is the
+   dedup key. *)
+let run_trial_block ~rng ~trials ~n ~base ~us ~vs ~size =
   let m_ids = Array.length base in
-  let us = Array.map (fun id -> fst (Graph.endpoints g id)) base in
-  let vs = Array.map (fun id -> snd (Graph.endpoints g id)) base in
   (* shuffling positions instead of ids keeps the rng draws identical
      (same array length) while the contraction reads endpoints from the
      flat arrays above *)
@@ -195,6 +185,54 @@ let enumerate ?mask ?trials ~rng g ~size =
     end
   done;
   List.rev !out
+
+(* Trials are grouped into blocks of at least [min_block_trials], capped
+   at [max_blocks]; the block structure depends only on the trial count —
+   never on the pool size — so the per-block rng streams, and with them
+   the enumerated cut set, are identical at every [jobs]. *)
+let max_blocks = 128
+let min_block_trials = 32
+
+let enumerate ?mask ?trials ?pool ~rng g ~size =
+  if size = 1 then enumerate_bridges ?mask g
+  else begin
+    let n = Graph.n g in
+    let edge_ids = masked_edges ?mask g in
+    let trials =
+      match trials with
+      | Some t -> t
+      | None ->
+        let ln = int_of_float (ceil (log (float_of_int (max 2 n)))) in
+        3 * n * n * ln
+    in
+    let base = Array.of_list edge_ids in
+    let us = Array.map (fun id -> fst (Graph.endpoints g id)) base in
+    let vs = Array.map (fun id -> snd (Graph.endpoints g id)) base in
+    let blocks = max 1 (min max_blocks (trials / min_block_trials)) in
+    (* per-block rng streams, derived sequentially up-front: block b's
+       draws are fixed before any task runs *)
+    let specs =
+      Array.init blocks (fun b ->
+          let share = (trials / blocks) + (if b < trials mod blocks then 1 else 0) in
+          (Rng.split rng, share))
+    in
+    let found =
+      Pool.map ?pool ~chunk:1
+        (fun (rng, trials) -> run_trial_block ~rng ~trials ~n ~base ~us ~vs ~size)
+        specs
+    in
+    (* canonical-order union: blocks merge in index order, cuts keep their
+       first-discovery position — scheduling cannot reorder the result *)
+    let seen = Hashtbl.create 64 in
+    let out = ref [] in
+    Array.iter
+      (List.iter (fun c ->
+           if not (Hashtbl.mem seen c.edge_ids) then begin
+             Hashtbl.replace seen c.edge_ids ();
+             out := c :: !out
+           end))
+      found;
+    List.rev !out
   end
 
 let min_cuts ?mask ~rng g =

@@ -28,11 +28,22 @@ val enumerate_exhaustive : ?mask:Bitset.t -> Graph.t -> size:int -> cut list
     [n <= 24]. *)
 
 val enumerate :
-  ?mask:Bitset.t -> ?trials:int -> rng:Rng.t -> Graph.t -> size:int -> cut list
+  ?mask:Bitset.t ->
+  ?trials:int ->
+  ?pool:Kecss_par.Pool.t ->
+  rng:Rng.t ->
+  Graph.t ->
+  size:int ->
+  cut list
 (** Karger-contraction enumeration of the cuts of exactly [size] crossing
     edges. Complete w.h.p. when [size] equals the minimum cut value λ;
-    [trials] defaults to [3 n² ⌈ln n⌉]. Deterministic given [rng].
-    [size = 1] short-circuits to the exact DFS bridge enumeration. *)
+    [trials] defaults to [3 n² ⌈ln n⌉]. [size = 1] short-circuits to the
+    exact DFS bridge enumeration.
+
+    Trials run as blocks on [pool] (default {!Kecss_par.Pool.default}),
+    each block with its own rng stream split from [rng] up-front and the
+    found cuts merged in canonical block order: the result is
+    deterministic given [rng] and identical at every pool size. *)
 
 val min_cuts : ?mask:Bitset.t -> rng:Rng.t -> Graph.t -> int * cut list
 (** [(λ, cuts)]: the edge connectivity and (w.h.p.) all minimum cuts, using

@@ -35,6 +35,21 @@ let ledger_factory =
 let set_ledger_factory f = ledger_factory := f
 let ledger () = !ledger_factory ()
 
+(* Independent experiment cells on the pool: [par_cells f xs] computes
+   [f x] for every workload cell and returns the results in list order,
+   so tables and snapshot rows are appended in the same canonical order
+   as the sequential elaboration. Cells must be self-contained — own rng
+   streams, own ledger via {!ledger}, no writes to shared sinks. When
+   the CLI wires ledgers to a shared trace it calls [set_cells_inline
+   true]: cells then run sequentially so trace events keep program
+   order. *)
+let cells_inline = ref false
+let set_cells_inline b = cells_inline := b
+
+let par_cells f xs =
+  if !cells_inline then List.map f xs
+  else Array.to_list (Kecss_par.Pool.map ~chunk:1 f (Array.of_list xs))
+
 let snapshot_columns =
   [
     "instance"; "rounds"; "msgs"; "peak msgs/rnd"; "mean active"; "peak active";
@@ -69,31 +84,37 @@ let t11_rounds () =
       ~columns:
         [ "family"; "n"; "m"; "D"; "rounds"; "iters"; "bound"; "rounds/bound" ]
   in
-  let snaps = ref [] in
-  let run family g =
+  let cell (family, g) =
     let n = Graph.n g in
     let d = Graph.diameter g in
     let ledger = ledger () in
     let r = Ecss2.solve_with ledger (Rng.create ~seed:alg_seed) g in
-    snaps :=
+    let snap =
       snapshot_row (Printf.sprintf "%s n=%d" family n) (Rounds.metrics ledger)
-      :: !snaps;
+    in
     let bound = (fi d +. sqrtf n) *. log2f n *. log2f n in
-    Table.add_row t
+    let row : Table.cell list =
       [
         S family; I n; I (Graph.m g); I d; I r.Ecss2.rounds;
         I r.Ecss2.tap.Tap.iterations; F bound; F (fi r.Ecss2.rounds /. bound);
       ]
+    in
+    (row, snap)
   in
-  List.iter
-    (fun n -> run "circulant(1,2) high-D" (Workloads.weighted_circulant ~n))
-    [ 64; 128; 256; 512 ];
-  List.iter
-    (fun n -> run "random low-D" (Workloads.weighted_random ~n ~k:2))
-    [ 64; 128; 256; 512 ];
+  let cells =
+    List.map
+      (fun n -> ("circulant(1,2) high-D", Workloads.weighted_circulant ~n))
+      [ 64; 128; 256; 512 ]
+    @ List.map
+        (fun n -> ("random low-D", Workloads.weighted_random ~n ~k:2))
+        [ 64; 128; 256; 512 ]
+  in
+  let results = par_cells cell cells in
+  List.iter (fun (row, _) -> Table.add_row t row) results;
   Table.note t
     "rounds/bound should stay roughly flat across n within each family";
-  { tables = [ t; snapshot_table ~title:"2-ECSS" (List.rev !snaps) ]; text = None }
+  { tables = [ t; snapshot_table ~title:"2-ECSS" (List.map snd results) ];
+    text = None }
 
 (* ------------------------------------------------------------------ *)
 (* Theorem 1.1 — approximation                                         *)
@@ -158,38 +179,41 @@ let t12_rounds () =
     Table.create ~title:"k-ECSS rounds vs O(k (D log^3 n + n))  [Thm 1.2]"
       ~columns:[ "k"; "n"; "D"; "rounds"; "iters"; "bound"; "rounds/bound" ]
   in
-  let snaps = ref [] in
-  List.iter
-    (fun k ->
-      List.iter
-        (fun n ->
-          let g = Workloads.weighted_random ~n ~k in
-          let d = Graph.diameter g in
-          let ledger = ledger () in
-          let r = Kecss.solve_with ledger (Rng.create ~seed:alg_seed) g ~k in
-          snaps :=
-            snapshot_row (Printf.sprintf "k=%d n=%d" k n) (Rounds.metrics ledger)
-            :: !snaps;
-          let iters =
-            List.fold_left (fun acc li -> acc + li.Kecss.iterations) 0
-              r.Kecss.levels
-          in
-          let l = log2f n in
-          (* the asymptotic bound hides a per-iteration MST of
-             O((D+sqrt n) polylog); at these sizes that term dominates the
-             paper's +n, so we normalize by the finite-size expression
-             k((D+sqrt n) log^4 n + n) — one extra log because our
-             controlled Boruvka pays log n where Kutten-Peleg pays log*.  *)
-          let bound = fi k *. (((fi d +. sqrtf n) *. l *. l *. l *. l) +. fi n) in
-          Table.add_row t
-            [ I k; I n; I d; I r.Kecss.rounds; I iters; F bound;
-              F (fi r.Kecss.rounds /. bound) ])
-        [ 32; 64; 96 ])
-    [ 2; 3; 4 ];
+  let cell (k, n) =
+    let g = Workloads.weighted_random ~n ~k in
+    let d = Graph.diameter g in
+    let ledger = ledger () in
+    let r = Kecss.solve_with ledger (Rng.create ~seed:alg_seed) g ~k in
+    let snap =
+      snapshot_row (Printf.sprintf "k=%d n=%d" k n) (Rounds.metrics ledger)
+    in
+    let iters =
+      List.fold_left (fun acc li -> acc + li.Kecss.iterations) 0 r.Kecss.levels
+    in
+    let l = log2f n in
+    (* the asymptotic bound hides a per-iteration MST of
+       O((D+sqrt n) polylog); at these sizes that term dominates the
+       paper's +n, so we normalize by the finite-size expression
+       k((D+sqrt n) log^4 n + n) — one extra log because our
+       controlled Boruvka pays log n where Kutten-Peleg pays log*.  *)
+    let bound = fi k *. (((fi d +. sqrtf n) *. l *. l *. l *. l) +. fi n) in
+    let row : Table.cell list =
+      [ I k; I n; I d; I r.Kecss.rounds; I iters; F bound;
+        F (fi r.Kecss.rounds /. bound) ]
+    in
+    (row, snap)
+  in
+  let cells =
+    List.concat_map (fun k -> List.map (fun n -> (k, n)) [ 32; 64; 96 ])
+      [ 2; 3; 4 ]
+  in
+  let results = par_cells cell cells in
+  List.iter (fun (row, _) -> Table.add_row t row) results;
   Table.note t
     "per-iteration cost is dominated by the MST filter; iters tracks \
      O(log^3 n) (see L4-iters)";
-  { tables = [ t; snapshot_table ~title:"k-ECSS" (List.rev !snaps) ]; text = None }
+  { tables = [ t; snapshot_table ~title:"k-ECSS" (List.map snd results) ];
+    text = None }
 
 let t12_approx () =
   let exact =
@@ -240,44 +264,47 @@ let t13_rounds () =
       ~columns:
         [ "n"; "m"; "D"; "rounds"; "iters"; "bound"; "rounds/bound" ]
   in
-  let snaps = ref [] in
-  List.iter
-    (fun n ->
-      let g = Workloads.unweighted_low_d ~n in
-      let d = Graph.diameter g in
-      let ledger = ledger () in
-      let r = Ecss3.solve_with ledger (Rng.create ~seed:alg_seed) g in
-      snaps :=
-        snapshot_row (Printf.sprintf "low-D n=%d" n) (Rounds.metrics ledger)
-        :: !snaps;
-      let l = log2f n in
-      let bound = fi (max 2 d) *. l *. l *. l in
-      Table.add_row t
-        [
-          I n; I (Graph.m g); I d; I (Rounds.total ledger);
-          I r.Ecss3.iterations; F bound; F (fi (Rounds.total ledger) /. bound);
-        ])
-    [ 32; 64; 128; 256 ];
+  let cell n =
+    let g = Workloads.unweighted_low_d ~n in
+    let d = Graph.diameter g in
+    let ledger = ledger () in
+    let r = Ecss3.solve_with ledger (Rng.create ~seed:alg_seed) g in
+    let snap =
+      snapshot_row (Printf.sprintf "low-D n=%d" n) (Rounds.metrics ledger)
+    in
+    let l = log2f n in
+    let bound = fi (max 2 d) *. l *. l *. l in
+    let row : Table.cell list =
+      [
+        I n; I (Graph.m g); I d; I (Rounds.total ledger);
+        I r.Ecss3.iterations; F bound; F (fi (Rounds.total ledger) /. bound);
+      ]
+    in
+    (row, snap)
+  in
+  let results = par_cells cell [ 32; 64; 128; 256 ] in
+  List.iter (fun (row, _) -> Table.add_row t row) results;
+  let snaps = List.map snd results in
   let h2h =
     Table.create
       ~title:"3-ECSS: the dedicated algorithm vs the generic Aug path  [Thm 1.3]"
       ~columns:[ "n"; "D"; "rounds(3ECSS)"; "rounds(generic k-ECSS)"; "speedup" ]
   in
-  List.iter
-    (fun n ->
-      let g = Workloads.unweighted_low_d ~n in
-      let d = Graph.diameter g in
-      let ledger = Rounds.create () in
-      ignore (Ecss3.solve_with ledger (Rng.create ~seed:alg_seed) g);
-      let dedicated = Rounds.total ledger in
-      let generic = (Kecss.solve ~seed:alg_seed g ~k:3).Kecss.rounds in
-      Table.add_row h2h
-        [ I n; I d; I dedicated; I generic; F (fi generic /. fi dedicated) ])
-    [ 32; 64 ];
+  let h2h_cell n =
+    let g = Workloads.unweighted_low_d ~n in
+    let d = Graph.diameter g in
+    let ledger = Rounds.create () in
+    ignore (Ecss3.solve_with ledger (Rng.create ~seed:alg_seed) g);
+    let dedicated = Rounds.total ledger in
+    let generic = (Kecss.solve ~seed:alg_seed g ~k:3).Kecss.rounds in
+    ([ I n; I d; I dedicated; I generic; F (fi generic /. fi dedicated) ]
+      : Table.cell list)
+  in
+  List.iter (Table.add_row h2h) (par_cells h2h_cell [ 32; 64 ]);
   Table.note h2h
     "the paper's point: on low-diameter graphs the cycle-space algorithm \
      avoids the Omega(n) of the generic path; the speedup should grow with n";
-  { tables = [ t; snapshot_table ~title:"3-ECSS" (List.rev !snaps); h2h ]; text = None }
+  { tables = [ t; snapshot_table ~title:"3-ECSS" snaps; h2h ]; text = None }
 
 let t13_approx () =
   let t =
@@ -363,20 +390,25 @@ let l311_iters () =
       ~title:"TAP iterations vs O(log n * log(n w_max/w_min))  [Lemma 3.11]"
       ~columns:[ "n"; "spread"; "iters"; "log2^2 n"; "iters/log2^2 n" ]
   in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun (label, ratio) ->
-          let g = Workloads.spread_random ~n ~ratio in
-          let r = Ecss2.solve ~seed:alg_seed g in
-          let l = log2f n in
-          Table.add_row t
-            [
-              I n; S label; I r.Ecss2.tap.Tap.iterations; F (l *. l);
-              F (fi r.Ecss2.tap.Tap.iterations /. (l *. l));
-            ])
-        [ ("1", 1); ("n", n); ("n^2", n * n) ])
-    [ 64; 128; 256; 512 ];
+  let cell (n, label, ratio) =
+    let g = Workloads.spread_random ~n ~ratio in
+    let r = Ecss2.solve ~seed:alg_seed g in
+    let l = log2f n in
+    ([
+       I n; S label; I r.Ecss2.tap.Tap.iterations; F (l *. l);
+       F (fi r.Ecss2.tap.Tap.iterations /. (l *. l));
+     ]
+      : Table.cell list)
+  in
+  let cells =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (label, ratio) -> (n, label, ratio))
+          [ ("1", 1); ("n", n); ("n^2", n * n) ])
+      [ 64; 128; 256; 512 ]
+  in
+  List.iter (Table.add_row t) (par_cells cell cells);
   Table.note t "the normalized column should stay bounded as n grows";
   { tables = [ t ]; text = None }
 
@@ -510,32 +542,32 @@ let m_messages () =
       ~columns:
         [ "n"; "m"; "msgs(MST)"; "msgs/m log n"; "msgs(2-ECSS)"; "msgs/m log^3 n" ]
   in
-  let snaps = ref [] in
-  List.iter
-    (fun n ->
-      let g = Workloads.weighted_random ~n ~k:2 in
-      let m = Graph.m g in
-      let l1 = ledger () in
-      ignore (Mst.run l1 (Rng.create ~seed:alg_seed) g);
-      let mst_msgs = Rounds.total_messages l1 in
-      let l2 = ledger () in
-      ignore (Ecss2.solve_with l2 (Rng.create ~seed:alg_seed) g);
-      snaps :=
-        snapshot_row (Printf.sprintf "2-ECSS n=%d" n) (Rounds.metrics l2)
-        :: !snaps;
-      let ecss_msgs = Rounds.total_messages l2 in
-      let lg = log2f n in
-      Table.add_row t
-        [
-          I n; I m; I mst_msgs; F (fi mst_msgs /. (fi m *. lg));
-          I ecss_msgs; F (fi ecss_msgs /. (fi m *. lg *. lg *. lg));
-        ])
-    [ 64; 128; 256; 512 ];
+  let cell n =
+    let g = Workloads.weighted_random ~n ~k:2 in
+    let m = Graph.m g in
+    let l1 = ledger () in
+    ignore (Mst.run l1 (Rng.create ~seed:alg_seed) g);
+    let mst_msgs = Rounds.total_messages l1 in
+    let l2 = ledger () in
+    ignore (Ecss2.solve_with l2 (Rng.create ~seed:alg_seed) g);
+    let snap = snapshot_row (Printf.sprintf "2-ECSS n=%d" n) (Rounds.metrics l2) in
+    let ecss_msgs = Rounds.total_messages l2 in
+    let lg = log2f n in
+    let row : Table.cell list =
+      [
+        I n; I m; I mst_msgs; F (fi mst_msgs /. (fi m *. lg));
+        I ecss_msgs; F (fi ecss_msgs /. (fi m *. lg *. lg *. lg));
+      ]
+    in
+    (row, snap)
+  in
+  let results = par_cells cell [ 64; 128; 256; 512 ] in
+  List.iter (fun (row, _) -> Table.add_row t row) results;
   Table.note t
     "the engine counts every message it delivers; both normalized columns \
      should stay bounded (MST is O(m log n) messages, the 2-ECSS adds \
      O(log^2 n) iterations of O(m + n sqrt n) traffic)";
-  { tables = [ t; snapshot_table ~title:"message census" (List.rev !snaps) ];
+  { tables = [ t; snapshot_table ~title:"message census" (List.map snd results) ];
     text = None }
 
 (* ------------------------------------------------------------------ *)

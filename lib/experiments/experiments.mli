@@ -14,6 +14,14 @@ val set_ledger_factory : (unit -> Kecss_congest.Rounds.t) -> unit
     telemetry snapshots); the CLI's [experiment --trace] installs a factory
     whose ledgers share one trace/metrics sink. *)
 
+val set_cells_inline : bool -> unit
+(** [set_cells_inline true] makes the heavy experiments run their
+    independent workload cells sequentially instead of fanning them out
+    over {!Kecss_par.Pool.default}. Cell fan-out appends rows and
+    telemetry snapshots in canonical workload order either way, so
+    tables are identical; the CLI sets this when ledgers share one trace
+    sink, whose events must arrive in program order. *)
+
 type exp = {
   id : string;          (** e.g. "T1.1-rounds" *)
   title : string;

@@ -1,6 +1,7 @@
 open Kecss_graph
 open Kecss_connectivity
 open Kecss_obs
+module Pool = Kecss_par.Pool
 
 type report = {
   k : int;
@@ -41,23 +42,15 @@ let find_witness ~rng g ~h ~spanning ~lambda ~budget =
       (Some cut, search)
   end
 
-let attack ?(trials = 64) ?rng g ~h ~k =
-  let rng = match rng with Some r -> r | None -> Rng.create ~seed:1 in
-  let n = Graph.n g in
-  let vr = Verify.check_kecss ~cap:max_int g h ~k in
-  let spanning = vr.Verify.spanning in
-  let lambda = vr.Verify.connectivity in
-  let budget = k - 1 in
-  let witness, search =
-    find_witness ~rng g ~h ~spanning ~lambda ~budget
-  in
-  let ids = Array.of_list (Bitset.elements h) in
-  let sample_size = min budget (Array.length ids) in
-  let sample_trials = if budget <= 0 || sample_size <= 0 then 0 else trials in
+(* One block of random failure-set trials with its own rng: the unit of
+   parallel fan-out. Every trial builds a fresh mask and a fresh maxflow
+   net, so blocks share only the immutable graph and [ids]. Returns
+   (survived, worst residual λ, first disconnecting set in trial order). *)
+let attack_block ~rng ~trials g ~h ~ids ~sample_size ~lambda =
   let survived = ref 0 in
   let worst = ref lambda in
-  let witness = ref witness in
-  for _ = 1 to sample_trials do
+  let witness = ref None in
+  for _ = 1 to trials do
     let fail = Rng.sample_without_replacement rng sample_size (Array.length ids) in
     let mask = Bitset.copy h in
     List.iter (fun i -> Bitset.remove mask ids.(i)) fail;
@@ -74,6 +67,54 @@ let attack ?(trials = 64) ?rng g ~h ~k =
         witness := Some (List.map (fun i -> ids.(i)) fail)
     end
   done;
+  (!survived, !worst, !witness)
+
+(* Block structure depends only on the trial count, never on the pool
+   size, so the report is identical at every [jobs]. *)
+let max_blocks = 64
+let min_block_trials = 4
+
+let attack ?(trials = 64) ?rng ?pool g ~h ~k =
+  let rng = match rng with Some r -> r | None -> Rng.create ~seed:1 in
+  let n = Graph.n g in
+  let vr = Verify.check_kecss ~cap:max_int g h ~k in
+  let spanning = vr.Verify.spanning in
+  let lambda = vr.Verify.connectivity in
+  let budget = k - 1 in
+  let witness, search =
+    find_witness ~rng g ~h ~spanning ~lambda ~budget
+  in
+  let ids = Array.of_list (Bitset.elements h) in
+  let sample_size = min budget (Array.length ids) in
+  let sample_trials = if budget <= 0 || sample_size <= 0 then 0 else trials in
+  let blocks =
+    if sample_trials = 0 then 0
+    else max 1 (min max_blocks (sample_trials / min_block_trials))
+  in
+  (* per-block rng streams split in index order before any task runs *)
+  let specs =
+    Array.init blocks (fun b ->
+        let share =
+          (sample_trials / blocks)
+          + (if b < sample_trials mod blocks then 1 else 0)
+        in
+        (Rng.split rng, share))
+  in
+  let results =
+    Pool.map ?pool ~chunk:1
+      (fun (rng, trials) ->
+        attack_block ~rng ~trials g ~h ~ids ~sample_size ~lambda)
+      specs
+  in
+  (* canonical-order merge: sums and mins commute, and the witness is
+     the cut-guided one if any, else the first sampled one by block
+     index — same answer as the sequential elaboration *)
+  let survived, worst, witness =
+    Array.fold_left
+      (fun (s, w, wit) (s', w', wit') ->
+        (s + s', min w w', if wit = None then wit' else wit))
+      (0, lambda, witness) results
+  in
   {
     k;
     n;
@@ -83,12 +124,12 @@ let attack ?(trials = 64) ?rng g ~h ~k =
     margin = lambda - budget;
     search;
     trials = sample_trials;
-    survived = !survived;
+    survived;
     survival_rate =
       (if sample_trials = 0 then 1.0
-       else float_of_int !survived /. float_of_int sample_trials);
-    worst_residual_lambda = !worst;
-    witness = !witness;
+       else float_of_int survived /. float_of_int sample_trials);
+    worst_residual_lambda = worst;
+    witness;
   }
 
 let to_json r =

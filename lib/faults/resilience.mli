@@ -48,12 +48,23 @@ val ok : report -> bool
 (** No disconnecting failure set found: [witness = None]. *)
 
 val attack :
-  ?trials:int -> ?rng:Rng.t -> Graph.t -> h:Bitset.t -> k:int -> report
+  ?trials:int ->
+  ?rng:Rng.t ->
+  ?pool:Kecss_par.Pool.t ->
+  Graph.t ->
+  h:Bitset.t ->
+  k:int ->
+  report
 (** [attack g ~h ~k] assaults the subgraph [h] of [g] with every weapon
     above. [trials] defaults to 64 random failure sets of size [k−1]
     ([k = 1] needs none: the empty failure set is covered by the λ
     computation). [rng] defaults to a fresh seed-1 stream; pass your own
-    to vary or reproduce the sampling. *)
+    to vary or reproduce the sampling.
+
+    Failure-set trials fan out in blocks over [pool] (default
+    {!Kecss_par.Pool.default}) with per-block rng streams split from
+    [rng] up-front and a canonical-order merge, so the report is
+    deterministic given [rng] and identical at every pool size. *)
 
 val schema_version : string
 (** ["kecss-resilience/1"]. *)

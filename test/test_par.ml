@@ -1,0 +1,325 @@
+(* lib/par: the deterministic multicore execution layer.
+
+   The contract under test is the one every caller builds on: a pool
+   operation's result depends only on the submitted tasks and their
+   canonical indices — never on the pool size or on scheduling. The
+   suite checks the pool mechanics (batching, failures, nesting,
+   shutdown) and then the contract end to end: solver outputs, trace
+   event streams, enumerated cut lists, resilience reports and engine
+   runs must be identical at jobs = 1 and jobs = 4. *)
+
+open Kecss_graph
+open Kecss_congest
+open Kecss_core
+open Common
+module Pool = Kecss_par.Pool
+
+let with_pool jobs f =
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* the process-default pool is shared state: pin it back to 1 afterwards
+   so suites do not leak a pool size into each other *)
+let with_default_jobs jobs f =
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs 1) f
+
+(* ---------- pool mechanics ---------- *)
+
+let test_parallel_for_covers () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let n = 1000 in
+          let out = Array.make n (-1) in
+          Pool.parallel_for ~pool n (fun i -> out.(i) <- i * i);
+          Array.iteri
+            (fun i v ->
+              Alcotest.(check int) (Printf.sprintf "jobs=%d cell %d" jobs i)
+                (i * i) v)
+            out))
+    [ 1; 2; 4 ]
+
+let test_zero_tasks () =
+  with_pool 4 (fun pool ->
+      Pool.run_batch pool ~ntasks:0 (fun _ -> Alcotest.fail "task ran");
+      Pool.parallel_for ~pool 0 (fun _ -> Alcotest.fail "task ran");
+      Alcotest.(check (array int)) "empty map" [||]
+        (Pool.map ~pool (fun x -> x) [||]);
+      Alcotest.(check int) "empty reduce" 42
+        (Pool.map_reduce ~pool ~map:(fun i -> i) ~merge:( + ) ~init:42 0))
+
+let test_map_values () =
+  with_pool 3 (fun pool ->
+      let a = Array.init 257 (fun i -> i) in
+      (* floats specifically: the result array must be representation-safe *)
+      let f = Pool.map ~pool (fun i -> float_of_int i *. 0.5) a in
+      Alcotest.(check (float 0.0)) "float cell" 64.0 f.(128);
+      Alcotest.(check int) "length" 257 (Array.length f))
+
+let test_map_reduce_order () =
+  (* concatenation is not commutative: only a strictly ascending
+     index-order merge produces this string, at any pool size *)
+  let expected = String.concat "," (List.init 64 string_of_int) in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let got =
+            Pool.map_reduce ~pool ~chunk:1 ~map:string_of_int
+              ~merge:(fun acc s -> if acc = "" then s else acc ^ "," ^ s)
+              ~init:"" 64
+          in
+          Alcotest.(check string) (Printf.sprintf "jobs=%d" jobs) expected got))
+    [ 1; 3; 4 ]
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+exception Boom of int
+
+let test_exception_lowest_index () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let ran = Array.make 16 false in
+          (match
+             Pool.run_batch pool ~ntasks:16 (fun i ->
+                 ran.(i) <- true;
+                 if i = 5 || i = 11 then raise (Boom i))
+           with
+          | () -> Alcotest.fail "expected Boom"
+          | exception Boom i ->
+            Alcotest.(check int)
+              (Printf.sprintf "jobs=%d lowest failing index" jobs)
+              5 i);
+          (* every task ran despite the failures... *)
+          Array.iteri
+            (fun i r ->
+              Alcotest.(check bool) (Printf.sprintf "task %d ran" i) true r)
+            ran;
+          (* ...and the pool survives for the next batch *)
+          let out = Array.make 8 0 in
+          Pool.parallel_for ~pool 8 (fun i -> out.(i) <- i + 1);
+          Alcotest.(check int) "pool reusable after failure" 8 out.(7)))
+    [ 1; 4 ]
+
+let test_nested_submission () =
+  with_pool 4 (fun pool ->
+      (* the core primitive rejects nesting loudly... *)
+      (match
+         Pool.run_batch pool ~ntasks:2 (fun _ ->
+             Pool.run_batch pool ~ntasks:2 (fun _ -> ()))
+       with
+      | () -> Alcotest.fail "expected Failure on nested run_batch"
+      | exception Failure msg ->
+        Alcotest.(check bool) "message names nesting" true
+          (contains ~affix:"nested" msg));
+      (* ...while the combinators degrade to inline execution, so library
+         code can fan out without knowing whether it already runs inside
+         a task *)
+      let out = Array.make 64 (-1) in
+      Pool.run_batch pool ~ntasks:4 (fun t ->
+          Pool.parallel_for ~pool 16 (fun i -> out.((t * 16) + i) <- t));
+      Array.iteri
+        (fun i v -> Alcotest.(check int) (Printf.sprintf "cell %d" i) (i / 16) v)
+        out)
+
+let test_shutdown () =
+  let pool = Pool.create ~jobs:4 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (match Pool.run_batch pool ~ntasks:4 (fun _ -> ()) with
+  | () -> Alcotest.fail "expected Failure after shutdown"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "jobs < 1 rejected" true
+    (match Pool.create ~jobs:0 with
+    | exception Invalid_argument _ -> true
+    | p ->
+      Pool.shutdown p;
+      false)
+
+(* ---------- determinism across pool sizes ---------- *)
+
+let test_graph ~n ~k ~seed =
+  let rng = Rng.create ~seed in
+  Weights.uniform rng ~lo:1 ~hi:30 (Gen.random_k_connected rng n k ~extra:n)
+
+(* one fully instrumented 2-ECSS solve on the process-default pool;
+   returns everything observable: the solution, costs, and the whole
+   trace event stream *)
+let instrumented_2ecss () =
+  let g = test_graph ~n:48 ~k:2 ~seed:11 in
+  let trace = Kecss_obs.Trace.create () in
+  let metrics = Kecss_obs.Metrics.create ~trace () in
+  let ledger = Rounds.create ~trace ~metrics () in
+  let r = Ecss2.solve_with ledger (Rng.create ~seed:1) g in
+  ( Bitset.elements r.Ecss2.solution,
+    r.Ecss2.rounds,
+    Rounds.total_messages ledger,
+    Kecss_obs.Trace.events trace )
+
+let test_solver_identical () =
+  let sol1, rounds1, msgs1, ev1 = with_default_jobs 1 instrumented_2ecss in
+  let sol4, rounds4, msgs4, ev4 = with_default_jobs 4 instrumented_2ecss in
+  Alcotest.(check (list int)) "solution edges" sol1 sol4;
+  Alcotest.(check int) "rounds" rounds1 rounds4;
+  Alcotest.(check int) "messages" msgs1 msgs4;
+  Alcotest.(check int) "trace event count" (List.length ev1) (List.length ev4);
+  Alcotest.(check bool) "trace event stream" true (ev1 = ev4)
+
+let test_kecss_identical () =
+  (* the k-ECSS solver exercises the parallel Karger enumeration inside
+     its augmentation phase *)
+  let solve () =
+    let g = test_graph ~n:32 ~k:3 ~seed:7 in
+    let r = Kecss.solve ~seed:1 g ~k:3 in
+    (Bitset.elements r.Kecss.solution, r.Kecss.weight, r.Kecss.rounds)
+  in
+  let s1, w1, r1 = with_default_jobs 1 solve in
+  let s4, w4, r4 = with_default_jobs 4 solve in
+  Alcotest.(check (list int)) "solution edges" s1 s4;
+  Alcotest.(check int) "weight" w1 w4;
+  Alcotest.(check int) "rounds" r1 r4
+
+let test_enumerate_identical () =
+  let g = test_graph ~n:40 ~k:2 ~seed:3 in
+  let enum pool =
+    Kecss_connectivity.Min_cut_enum.enumerate ~pool ~rng:(Rng.create ~seed:5) g
+      ~size:2
+  in
+  let c1 = with_pool 1 enum and c4 = with_pool 4 enum in
+  Alcotest.(check int) "cut count" (List.length c1) (List.length c4);
+  (* order matters: the canonical merge must make the whole list, not
+     just the set, independent of scheduling *)
+  List.iter2
+    (fun a b ->
+      Alcotest.(check (list int))
+        "cut edges" a.Kecss_connectivity.Min_cut_enum.edge_ids
+        b.Kecss_connectivity.Min_cut_enum.edge_ids;
+      Alcotest.(check (list int))
+        "cut side"
+        (Bitset.elements a.Kecss_connectivity.Min_cut_enum.side)
+        (Bitset.elements b.Kecss_connectivity.Min_cut_enum.side))
+    c1 c4
+
+let test_resilience_identical () =
+  let g = test_graph ~n:32 ~k:3 ~seed:9 in
+  let h = Graph.all_edges_mask g in
+  let attack pool =
+    Kecss_faults.Resilience.attack ~trials:48 ~rng:(Rng.create ~seed:2) ~pool g
+      ~h ~k:3
+  in
+  let r1 = with_pool 1 attack and r4 = with_pool 4 attack in
+  Alcotest.(check bool) "whole report" true (r1 = r4);
+  Alcotest.(check string) "rendered report" (Format.asprintf "%a" Kecss_faults.Resilience.pp r1)
+    (Format.asprintf "%a" Kecss_faults.Resilience.pp r4)
+
+(* a graph big enough that the engine's step pass actually shards
+   (par_threshold vertices stepping), with per-vertex receive counters so
+   a misordered or doubled delivery would show *)
+let test_engine_identical () =
+  let g = Gen.circulant 600 [ 1; 2; 3 ] in
+  let program =
+    {
+      Network.init = (fun _ -> ref 0);
+      step =
+        (fun ~round v received inbox ->
+          received := !received + List.length inbox;
+          if round < 3 then
+            ( Array.to_list (Graph.adj g v)
+              |> List.map (fun (_, id) ->
+                     { Network.edge = id; payload = [| v land 63 |] }),
+              `Active )
+          else ([], `Idle));
+    }
+  in
+  let run pool =
+    let metrics = Kecss_obs.Metrics.create () in
+    let states, rounds, msgs =
+      Network.run_counted ~metrics ~pool g program
+    in
+    ( Array.to_list (Array.map (fun r -> !r) states),
+      rounds,
+      msgs,
+      Kecss_obs.Metrics.summary metrics )
+  in
+  let s1, r1, m1, sum1 = with_pool 1 run and s4, r4, m4, sum4 = with_pool 4 run in
+  Alcotest.(check (list int)) "receive counters" s1 s4;
+  Alcotest.(check int) "rounds" r1 r4;
+  Alcotest.(check int) "messages" m1 m4;
+  Alcotest.(check bool) "metrics summary" true (sum1 = sum4)
+
+(* the persistent duplicate-send scratch: detection must survive across
+   many runs on one domain (the stamp strictly increases, stale cells
+   never match) *)
+let test_duplicate_detection_across_runs () =
+  let g = Gen.cycle 4 in
+  let dup =
+    {
+      Network.init = (fun _ -> ());
+      step =
+        (fun ~round v () _inbox ->
+          if round = 0 && v = 0 then
+            ( [
+                { Network.edge = 0; payload = [| 1 |] };
+                { Network.edge = 0; payload = [| 2 |] };
+              ],
+              `Idle )
+          else ([], `Idle));
+    }
+  in
+  let honest =
+    {
+      Network.init = (fun _ -> ());
+      step =
+        (fun ~round v () _inbox ->
+          if round = 0 && v = 0 then
+            ([ { Network.edge = 0; payload = [| 1 |] } ], `Idle)
+          else ([], `Idle));
+    }
+  in
+  for _ = 1 to 50 do
+    ignore (Network.run g honest)
+  done;
+  (match Network.run g dup with
+  | _ -> Alcotest.fail "expected Duplicate_send"
+  | exception Network.Duplicate_send { vertex; edge } ->
+    Alcotest.(check int) "vertex" 0 vertex;
+    Alcotest.(check int) "edge" 0 edge);
+  (* an aborted run must not poison later ones *)
+  ignore (Network.run g honest)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          case "parallel_for covers every index at any size"
+            test_parallel_for_covers;
+          case "zero tasks are a no-op" test_zero_tasks;
+          case "map handles float results" test_map_values;
+          case "map_reduce merges in ascending index order"
+            test_map_reduce_order;
+          case "lowest-index failure wins; pool survives"
+            test_exception_lowest_index;
+          case "nested run_batch rejected; combinators inline"
+            test_nested_submission;
+          case "shutdown is idempotent and final" test_shutdown;
+        ] );
+      ( "determinism",
+        [
+          case "2-ECSS solve + trace stream identical at jobs 1 and 4"
+            test_solver_identical;
+          case "k-ECSS solve identical at jobs 1 and 4" test_kecss_identical;
+          case "cut enumeration list identical at jobs 1 and 4"
+            test_enumerate_identical;
+          case "resilience report identical at jobs 1 and 4"
+            test_resilience_identical;
+          case "engine run identical at jobs 1 and 4 on a sharding-size graph"
+            test_engine_identical;
+          case "duplicate-send detection survives across runs"
+            test_duplicate_detection_across_runs;
+        ] );
+    ]
