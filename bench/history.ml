@@ -18,6 +18,9 @@ type exp_summary = {
   weight : int;
   lower_bound : int;
   ratio : float;
+  allocated_words : float;
+      (* words allocated by the solve, measured at jobs = 1 where the
+         total is deterministic; 0 for entries predating the metric *)
 }
 
 type entry = {
@@ -25,6 +28,10 @@ type entry = {
   jobs : int; (* pool size the run used; 1 for pre-parallel entries *)
   tests : (string * float) list; (* microbenchmark -> time/run in ns *)
   experiments : (string * exp_summary) list;
+  profile : Json.t option;
+      (* wall-clock profile snapshot (pool utilization, span timings);
+         recorded verbatim, never compared — wall time is not
+         reproducible *)
 }
 
 (* ----- revision / path defaults ----- *)
@@ -52,21 +59,23 @@ let exp_to_json e =
       ("weight", Json.Int e.weight);
       ("lower_bound", Json.Int e.lower_bound);
       ("ratio", Json.Float e.ratio);
+      ("allocated_words", Json.Float e.allocated_words);
     ]
 
 let entry_to_json e =
   Json.Obj
-    [
-      ("schema", Json.Str schema_version);
-      ("rev", Json.Str e.rev);
-      ("jobs", Json.Int e.jobs);
-      ( "tests",
-        Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) e.tests)
-      );
-      ( "experiments",
-        Json.Obj (List.map (fun (id, s) -> (id, exp_to_json s)) e.experiments)
-      );
-    ]
+    ([
+       ("schema", Json.Str schema_version);
+       ("rev", Json.Str e.rev);
+       ("jobs", Json.Int e.jobs);
+       ( "tests",
+         Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) e.tests)
+       );
+       ( "experiments",
+         Json.Obj (List.map (fun (id, s) -> (id, exp_to_json s)) e.experiments)
+       );
+     ]
+    @ match e.profile with None -> [] | Some p -> [ ("profile", p) ])
 
 let append ~path entry =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
@@ -88,6 +97,9 @@ let exp_of_json j =
     ratio =
       Option.bind (Json.member "ratio" j) Json.to_float_opt
       |> Option.value ~default:Float.nan;
+    allocated_words =
+      Option.bind (Json.member "allocated_words" j) Json.to_float_opt
+      |> Option.value ~default:0.0;
   }
 
 let entry_of_json j =
@@ -115,7 +127,7 @@ let entry_of_json j =
     let experiments =
       List.map (fun (id, v) -> (id, exp_of_json v)) (obj_fields "experiments")
     in
-    Ok { rev; jobs; tests; experiments }
+    Ok { rev; jobs; tests; experiments; profile = Json.member "profile" j }
   | Some (Json.Str s) -> Error ("unsupported history schema: " ^ s)
   | _ -> Error "entry has no schema field"
 
@@ -225,7 +237,17 @@ let compare ~threshold ~old_e ~new_e =
             (float_of_int oe.messages)
             (float_of_int ne.messages)
             int_fmt;
-          metric "ratio" oe.ratio ne.ratio ratio_fmt)
+          metric "ratio" oe.ratio ne.ratio ratio_fmt;
+          (* allocation totals are measured at jobs = 1, where they are as
+             deterministic as round counts; skip the row when either side
+             predates the metric (0 means "not recorded", and a 0 -> n
+             delta would read as an infinite regression) *)
+          if oe.allocated_words > 0.0 && ne.allocated_words > 0.0 then
+            metric "alloc" oe.allocated_words ne.allocated_words int_fmt
+          else if ne.allocated_words > 0.0 then
+            Printf.printf "%-20s %-10s %14s %14s %8s %s\n" id "alloc" "-"
+              (int_fmt ne.allocated_words)
+              "-" "new metric")
       new_e.experiments
   end;
   !regressions

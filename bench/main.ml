@@ -348,6 +348,7 @@ type rep_run = {
   rr_metrics : Kecss_obs.Metrics.t;
   rr_weight : int;
   rr_lower_bound : int;
+  rr_allocated : float; (* words allocated by the solve, at jobs = 1 *)
 }
 
 let mask_weight g mask =
@@ -355,12 +356,32 @@ let mask_weight g mask =
   Bitset.iter (fun e -> w := !w + Graph.weight g e) mask;
   !w
 
-let representative_solves () =
+(* The representative solves are forced to [jobs = 1]: Gc.quick_stat
+   counts the calling domain's allocations only, so a fixed-seed solve
+   allocates a stable number of words (reproducible to within a few
+   dozen words of runtime noise) only when nothing runs on other
+   domains — which is what lets history --compare treat allocation
+   nearly like rounds rather than like wall time. Simulated costs are
+   jobs-invariant anyway, so the rows lose nothing. *)
+let representative_solves ?(prof = Kecss_obs.Prof.noop) () =
+  let saved_jobs = Kecss_par.Pool.default_jobs () in
+  Kecss_par.Pool.set_default_jobs 1;
+  Fun.protect
+    ~finally:(fun () -> Kecss_par.Pool.set_default_jobs saved_jobs)
+  @@ fun () ->
   let run rr_name solve =
     let rr_metrics = Kecss_obs.Metrics.create () in
-    let rr_ledger = Rounds.create ~metrics:rr_metrics () in
+    let rr_ledger = Rounds.create ~metrics:rr_metrics ~prof () in
+    (* the major_words counter is only settled at collection boundaries
+       (the runtime updates it lazily, at slices), so flush with a full
+       major before each reading — otherwise the total drifts with GC
+       timing and the history comparison sees phantom deltas *)
+    Gc.full_major ();
+    let a0 = Kecss_obs.Prof.allocated_words () in
     let rr_weight, rr_lower_bound = solve rr_ledger in
-    { rr_name; rr_ledger; rr_metrics; rr_weight; rr_lower_bound }
+    Gc.full_major ();
+    let rr_allocated = Kecss_obs.Prof.allocated_words () -. a0 in
+    { rr_name; rr_ledger; rr_metrics; rr_weight; rr_lower_bound; rr_allocated }
   in
   [
     run "ecss2-n64" (fun ledger ->
@@ -380,7 +401,28 @@ let representative_solves () =
           Kecss_baselines.Lower_bound.best g ~k:3 ));
   ]
 
-let write_metrics_json ~jobs runs path =
+(* Utilization snapshot of the default pool, as (busy_ns, tasks) pairs in
+   domain order plus the pool's lifetime. Taken before anything resizes
+   the pool (resizing recreates it and drops the counters). *)
+let pool_snapshot () =
+  let pool = Kecss_par.Pool.default () in
+  ( Array.map
+      (fun (s : Kecss_par.Pool.stat) -> (s.Kecss_par.Pool.busy_ns, s.tasks))
+      (Kecss_par.Pool.stats pool),
+    Kecss_par.Pool.lifetime_ns pool )
+
+(* Wall-clock profile section for bench-metrics.json / the history entry:
+   always carries the default pool's utilization snapshot, plus per-span
+   timings when --profile is on. Recorded verbatim, never compared. *)
+let profile_json ~jobs ~pool_stats:(pairs, lifetime_ns) prof =
+  let module Obs = Kecss_obs in
+  let pool_json = Obs.Export.pool_to_json ~jobs ~lifetime_ns pairs in
+  let spans =
+    if Obs.Prof.enabled prof then [ ("spans", Obs.Prof.to_json prof) ] else []
+  in
+  Obs.Json.Obj (("pool", pool_json) :: spans)
+
+let write_metrics_json ~jobs ~profile runs path =
   let module Obs = Kecss_obs in
   let categories kvs =
     Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs)
@@ -405,6 +447,7 @@ let write_metrics_json ~jobs runs path =
       [
         ("schema", Obs.Json.Str "kecss-bench-metrics/1");
         ("jobs", Obs.Json.Int jobs);
+        ("profile", profile);
         ("solves", Obs.Json.Obj solves);
       ]
   in
@@ -414,7 +457,7 @@ let write_metrics_json ~jobs runs path =
   close_out oc;
   Printf.printf "telemetry for representative solves -> %s\n" path
 
-let history_entry ~rev ~jobs micro_rows runs =
+let history_entry ~rev ~jobs ~profile micro_rows runs =
   {
     History.rev;
     jobs;
@@ -432,8 +475,10 @@ let history_entry ~rev ~jobs micro_rows runs =
                 (if rr.rr_lower_bound > 0 then
                    float_of_int rr.rr_weight /. float_of_int rr.rr_lower_bound
                  else Float.nan);
+              allocated_words = rr.rr_allocated;
             } ))
         runs;
+    profile = Some profile;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -452,12 +497,13 @@ type opts = {
   compare_with : string option;
   threshold : float;
   jobs : int option;
+  profile : bool;
 }
 
 let usage =
   "usage: main.exe [--quick] [--exp ID]... [--micro-only] [--no-micro]\n\
   \       [--micro-filter SUBSTRING] [--metrics-out FILE]\n\
-  \       [--history-out FILE] [--rev REV] [--jobs N]\n\
+  \       [--history-out FILE] [--rev REV] [--jobs N] [--profile]\n\
   \       [--compare OLD.json] [--threshold FRACTION]\n"
 
 let () =
@@ -488,6 +534,7 @@ let () =
       | _ ->
         Printf.eprintf "--jobs expects an integer >= 1\n%s" usage;
         exit 2)
+    | "--profile" :: rest -> parse { o with profile = true } rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n%s" arg usage;
       exit 2
@@ -506,6 +553,7 @@ let () =
         compare_with = None;
         threshold = 0.10;
         jobs = None;
+        profile = false;
       }
       args
   in
@@ -513,6 +561,15 @@ let () =
   | Some j -> Kecss_par.Pool.set_default_jobs j
   | None -> ());
   let jobs = Kecss_par.Pool.default_jobs () in
+  let prof =
+    if o.profile then Kecss_obs.Prof.create () else Kecss_obs.Prof.noop
+  in
+  if o.profile then
+    (* route the experiments' ledgers through the profiler too, so the
+       span table covers the reproduction tables, not just the
+       representative solves *)
+    E.set_ledger_factory (fun () ->
+        Rounds.create ~metrics:(Kecss_obs.Metrics.create ()) ~prof ());
   if not o.micro_only then begin
     let targets =
       match o.exps with
@@ -534,11 +591,24 @@ let () =
     if (not o.no_micro) || o.micro_only then run_micro ?filter:o.micro_filter ()
     else []
   in
-  let runs = representative_solves () in
-  write_metrics_json ~jobs runs
+  (* snapshot pool utilization before the representative solves: they
+     force the default pool to jobs = 1 (see representative_solves),
+     which recreates the pool and would drop the counters accumulated by
+     the experiments above *)
+  let ((_, lifetime_ns) as pool_stats) = pool_snapshot () in
+  let runs = representative_solves ~prof () in
+  let profile = profile_json ~jobs ~pool_stats prof in
+  if o.profile then begin
+    Kecss_obs.Export.prof_table Format.std_formatter prof;
+    Kecss_obs.Export.pool_table Format.std_formatter ~jobs ~lifetime_ns
+      (fst pool_stats);
+    (* flush: write_metrics_json prints via Printf, a different buffer *)
+    Format.pp_print_newline Format.std_formatter ()
+  end;
+  write_metrics_json ~jobs ~profile runs
     (Option.value o.mpath ~default:"bench-metrics.json");
   let rev = Option.value o.rev ~default:(History.default_rev ()) in
-  let entry = history_entry ~rev ~jobs micro_rows runs in
+  let entry = history_entry ~rev ~jobs ~profile micro_rows runs in
   (* --quick runs are the CI-tracked configuration, so they always append
      to the history; otherwise history is opt-in via --history-out *)
   (match

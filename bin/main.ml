@@ -91,6 +91,77 @@ let monitor_arg =
     & opt ~vopt:(Some `Warn) (some mode) None
     & info [ "monitor" ] ~docv:"MODE" ~doc)
 
+let trace_jsonl_arg =
+  let doc =
+    "Also export the telemetry event stream as newline-delimited JSON, one \
+     event per line, to $(docv) — the byte-stable stream CI diffs across \
+     --jobs values. Implies trace collection like $(b,--trace)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-jsonl" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Profile where the implementation spends the hardware: per-phase \
+     wall-clock spans (total/max and p50/p90/p99), Gc.quick_stat deltas \
+     (minor/major words, collections) and the per-domain pool utilization \
+     table, printed on stderr. With $(docv), also write the profile as a \
+     JSON document to $(docv). Wall-clock time is measured strictly \
+     outside the simulated round clock: results and telemetry stay \
+     bit-identical with profiling on, but the profile numbers themselves \
+     vary run to run."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let make_prof = function
+  | None -> Kecss_obs.Prof.noop
+  | Some _ -> Kecss_obs.Prof.create ()
+
+let pool_stat_pairs pool =
+  Array.map
+    (fun (s : Kecss_par.Pool.stat) ->
+      (s.Kecss_par.Pool.busy_ns, s.Kecss_par.Pool.tasks))
+    (Kecss_par.Pool.stats pool)
+
+(* the --profile report: span table + pool utilization on stderr, plus the
+   JSON artifact when a file was given *)
+let report_profile profile prof =
+  match profile with
+  | None -> Ok ()
+  | Some file -> (
+    let pool = Kecss_par.Pool.default () in
+    let jobs = Kecss_par.Pool.jobs pool in
+    let lifetime_ns = Kecss_par.Pool.lifetime_ns pool in
+    let stats = pool_stat_pairs pool in
+    Format.eprintf "%a@." Kecss_obs.Export.prof_table prof;
+    Format.eprintf "%a@."
+      (fun ppf () -> Kecss_obs.Export.pool_table ppf ~jobs ~lifetime_ns stats)
+      ();
+    if file = "" then Ok ()
+    else
+      let doc =
+        Kecss_obs.Json.Obj
+          [
+            ("schema", Kecss_obs.Json.Str "kecss-profile/1");
+            ("spans", Kecss_obs.Prof.to_json prof);
+            ("pool", Kecss_obs.Export.pool_to_json ~jobs ~lifetime_ns stats);
+          ]
+      in
+      match
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Kecss_obs.Json.to_string doc);
+            output_char oc '\n')
+      with
+      | exception Sys_error msg -> Error ("cannot write profile: " ^ msg)
+      | () ->
+        Format.eprintf "profile -> %s@." file;
+        Ok ())
+
 (* ------------------------------------------------------------------ *)
 (* fault-plan plumbing                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -130,26 +201,27 @@ let report_faults = function
       (Kecss_faults.Net.stats inj)
       (Kecss_faults.Net.rounds_seen inj)
 
-let stalled_error inj ~rounds ~active ~in_flight =
+let stalled_error ~report ~rounds ~active ~in_flight =
   Format.eprintf
     "stalled: no quiescence after %d engine rounds (%d vertices active, %d \
      messages in flight)@."
     rounds active in_flight;
-  report_faults inj;
+  report ();
   Printf.sprintf
     "solver stalled under the fault plan (rounds=%d active=%d in_flight=%d)"
     rounds active in_flight
 
-(* [--trace] implies metric collection: the counter tracks come from the
-   metrics hooks inside the engine. [--monitor] needs a recording trace to
-   subscribe to, but not metrics. *)
-let make_sinks trace_path metrics_on monitor_mode =
+(* [--trace]/[--trace-jsonl] imply metric collection: the counter tracks
+   come from the metrics hooks inside the engine. [--monitor] needs a
+   recording trace to subscribe to, but not metrics. *)
+let make_sinks trace_path jsonl_path metrics_on monitor_mode =
+  let want_trace = trace_path <> None || jsonl_path <> None in
   let trace =
-    if trace_path <> None || monitor_mode <> None then Kecss_obs.Trace.create ()
+    if want_trace || monitor_mode <> None then Kecss_obs.Trace.create ()
     else Kecss_obs.Trace.noop
   in
   let metrics =
-    if metrics_on || trace_path <> None then Kecss_obs.Metrics.create ~trace ()
+    if metrics_on || want_trace then Kecss_obs.Metrics.create ~trace ()
     else Kecss_obs.Metrics.noop
   in
   let monitor =
@@ -174,13 +246,23 @@ let monitor_verdict monitor_mode monitor =
     else Ok ()
   | _ -> Ok ()
 
-let flush_sinks trace_path metrics_on trace metrics ledger =
+let flush_sinks trace_path jsonl_path metrics_on trace metrics ledger =
   (match trace_path with
   | Some path ->
     Kecss_obs.Export.chrome_to_file trace path;
     Format.eprintf "trace: %d events over %.0f simulated rounds -> %s@."
       (Kecss_obs.Trace.event_count trace)
       (Kecss_obs.Trace.now trace)
+      path
+  | None -> ());
+  (match jsonl_path with
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Kecss_obs.Export.jsonl trace));
+    Format.eprintf "trace events (jsonl): %d -> %s@."
+      (Kecss_obs.Trace.event_count trace)
       path
   | None -> ());
   if metrics_on then begin
@@ -295,7 +377,8 @@ let run_algo ledger ~algo ~k ~seed g =
     | None -> failwith "graph is not k-edge-connected")
   | a -> failwith ("unknown algorithm: " ^ a)
 
-let solve path algo k seed jobs quiet faults trace_path metrics_on monitor_mode =
+let solve path algo k seed jobs quiet faults trace_path trace_jsonl metrics_on
+    monitor_mode profile =
   match apply_jobs jobs with
   | Error msg -> `Error (false, msg)
   | Ok () ->
@@ -305,24 +388,32 @@ let solve path algo k seed jobs quiet faults trace_path metrics_on monitor_mode 
   match read_graph path with
   | exception Sys_error msg -> `Error (false, "cannot read graph: " ^ msg)
   | g ->
-  let trace, metrics, monitor = make_sinks trace_path metrics_on monitor_mode in
+  let trace, metrics, monitor =
+    make_sinks trace_path trace_jsonl metrics_on monitor_mode
+  in
+  let prof = make_prof profile in
   let injector = make_injector trace plan in
   let ledger =
-    Kecss_congest.Rounds.create ~trace ~metrics
+    Kecss_congest.Rounds.create ~trace ~metrics ~prof
       ?hook:(injector_hook injector) ()
   in
   (* even when faults kill the run, flush telemetry and the monitor report:
      the point of a fault campaign is to inspect exactly these artifacts *)
   let flush_on_fault () =
-    (try flush_sinks trace_path metrics_on trace metrics (Some ledger)
+    (try flush_sinks trace_path trace_jsonl metrics_on trace metrics (Some ledger)
      with Sys_error _ -> ());
+    ignore (report_profile profile prof);
     ignore (monitor_verdict monitor_mode monitor)
   in
   match run_algo ledger ~algo ~k ~seed g with
   | exception Failure msg -> `Error (false, msg)
   | exception Kecss_congest.Network.Did_not_quiesce { rounds; active; in_flight }
     ->
-    let msg = stalled_error injector ~rounds ~active ~in_flight in
+    let msg =
+      stalled_error
+        ~report:(fun () -> report_faults injector)
+        ~rounds ~active ~in_flight
+    in
     flush_on_fault ();
     `Error (false, msg)
   | exception e when Option.is_some injector ->
@@ -333,7 +424,7 @@ let solve path algo k seed jobs quiet faults trace_path metrics_on monitor_mode 
     flush_on_fault ();
     `Error (false, "solver failed under the fault plan: " ^ Printexc.to_string e)
   | k, sol, rounds ->
-  match flush_sinks trace_path metrics_on trace metrics (Some ledger) with
+  match flush_sinks trace_path trace_jsonl metrics_on trace metrics (Some ledger) with
   | exception Sys_error msg -> `Error (false, "cannot write trace: " ^ msg)
   | () ->
     let report = Verify.check_kecss g sol ~k in
@@ -345,6 +436,9 @@ let solve path algo k seed jobs quiet faults trace_path metrics_on monitor_mode 
       report_faults injector
     end;
     print_solution g sol;
+    match report_profile profile prof with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
     match monitor_verdict monitor_mode monitor with
     | Error msg -> `Error (false, msg)
     | Ok () ->
@@ -366,7 +460,8 @@ let solve_cmd =
     Term.(
       ret
         (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ jobs_arg $ quiet
-       $ faults_arg $ trace_arg $ metrics_arg $ monitor_arg))
+       $ faults_arg $ trace_arg $ trace_jsonl_arg $ metrics_arg $ monitor_arg
+       $ profile_arg))
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -534,7 +629,8 @@ let audit_cmd =
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let experiment ids list_only jobs faults trace_path metrics_on monitor_mode =
+let experiment ids list_only jobs faults trace_path trace_jsonl metrics_on
+    monitor_mode profile =
   let module E = Kecss_experiments.Experiments in
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-14s %s\n" e.E.id e.E.title) E.all;
@@ -548,28 +644,67 @@ let experiment ids list_only jobs faults trace_path metrics_on monitor_mode =
     | Error msg -> `Error (false, msg)
     | Ok plan ->
     let trace, metrics, monitor =
-      make_sinks trace_path metrics_on monitor_mode
+      make_sinks trace_path trace_jsonl metrics_on monitor_mode
     in
-    let injector = make_injector trace plan in
-    (* route every ledger the suite creates into the shared sinks, so the
-       exported trace covers the whole run; with the monitor alone the
-       snapshot tables keep their own per-experiment metrics, as the
-       default factory gives them. A fault injector is likewise shared, so
-       scheduled crash/cut rounds are on the suite's cumulative clock.
-       Shared sinks also mean experiment cells may no longer run
-       concurrently: their events must arrive in program order, on one
-       domain *)
-    if trace_path <> None || metrics_on || monitor_mode <> None
-       || Option.is_some injector
+    let prof = make_prof profile in
+    (* Experiment cells run in parallel even with sinks installed: the
+       suite brackets its fan-outs in sharded-sink regions (see
+       [Experiments.set_shared_sinks]), so the exported stream is
+       byte-identical at every --jobs. A fault injector, whose rng and
+       activation state are inherently sequential, is created per ledger
+       instead of shared: each cell sees the plan on its own engine-round
+       clock (crash=v17@r40 means round 40 of that cell), which is both
+       race-free and independent of scheduling. Stats are aggregated for
+       the final report. *)
+    let injectors = ref [] in
+    let injectors_mu = Mutex.create () in
+    let fresh_injector () =
+      match plan with
+      | None -> None
+      | Some p ->
+        let inj = Kecss_faults.Net.injector ~trace p in
+        Mutex.lock injectors_mu;
+        injectors := inj :: !injectors;
+        Mutex.unlock injectors_mu;
+        Some inj
+    in
+    let report_fault_totals () =
+      match plan with
+      | None -> ()
+      | Some _ ->
+        let open Kecss_faults.Net in
+        let injs = !injectors in
+        let total =
+          List.fold_left
+            (fun acc i ->
+              let s = stats i in
+              {
+                dropped = acc.dropped + s.dropped;
+                delayed = acc.delayed + s.delayed;
+                duplicated = acc.duplicated + s.duplicated;
+                crashed = acc.crashed + s.crashed;
+                cut = acc.cut + s.cut;
+              })
+            no_faults injs
+        in
+        let passes =
+          List.fold_left (fun acc i -> acc + rounds_seen i) 0 injs
+        in
+        Format.eprintf "faults: %a over %d engine rounds in %d cells@."
+          pp_stats total passes (List.length injs)
+    in
+    let shared = trace_path <> None || trace_jsonl <> None || metrics_on in
+    if shared || monitor_mode <> None || plan <> None
+       || Kecss_obs.Prof.enabled prof
     then begin
-      E.set_cells_inline true;
+      if Kecss_obs.Trace.enabled trace || Kecss_obs.Metrics.enabled metrics
+      then E.set_shared_sinks ~trace ~metrics;
       E.set_ledger_factory (fun () ->
-          let metrics =
-            if metrics_on || trace_path <> None then metrics
-            else Kecss_obs.Metrics.create ()
-          in
-          Kecss_congest.Rounds.create ~trace ~metrics
-            ?hook:(injector_hook injector) ())
+          (* with the monitor alone the snapshot tables keep their own
+             per-experiment metrics, as the default factory gives them *)
+          let metrics = if shared then metrics else Kecss_obs.Metrics.create () in
+          Kecss_congest.Rounds.create ~trace ~metrics ~prof
+            ?hook:(injector_hook (fresh_injector ())) ())
     end;
     match
       let targets =
@@ -588,15 +723,21 @@ let experiment ids list_only jobs faults trace_path metrics_on monitor_mode =
     | exception Failure msg -> `Error (false, msg)
     | exception Kecss_congest.Network.Did_not_quiesce
         { rounds; active; in_flight } ->
-      `Error (false, stalled_error injector ~rounds ~active ~in_flight)
+      `Error
+        ( false,
+          stalled_error ~report:report_fault_totals ~rounds ~active ~in_flight
+        )
     | () ->
-      report_faults injector;
+      report_fault_totals ();
       (* the trace-write handler brackets only the flush, mirroring `solve`:
          a Sys_error raised by the experiments themselves must not be
          reported as a trace-file problem *)
-      match flush_sinks trace_path metrics_on trace metrics None with
+      match flush_sinks trace_path trace_jsonl metrics_on trace metrics None with
       | exception Sys_error msg -> `Error (false, "cannot write trace: " ^ msg)
       | () ->
+        match report_profile profile prof with
+        | Error msg -> `Error (false, msg)
+        | Ok () ->
         match monitor_verdict monitor_mode monitor with
         | Error msg -> `Error (false, msg)
         | Ok () -> `Ok ()
@@ -610,11 +751,24 @@ let experiment_cmd =
     Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.")
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Run reproduction experiments.")
+    (Cmd.info "experiment" ~doc:"Run reproduction experiments."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Workload cells fan out over the domain pool at every \
+              telemetry setting; shared --trace/--metrics sinks are \
+              recorded through per-cell shards and merged in canonical \
+              order, so exported streams are byte-identical at every \
+              --jobs. Under --faults each cell gets its own injector on \
+              its own engine-round clock (a scheduled crash=v17@r40 fires \
+              at round 40 of every cell), with injection stats aggregated \
+              in the final report.";
+         ])
     Term.(
       ret
         (const experiment $ ids $ list_only $ jobs_arg $ faults_arg $ trace_arg
-       $ metrics_arg $ monitor_arg))
+       $ trace_jsonl_arg $ metrics_arg $ monitor_arg $ profile_arg))
 
 (* ------------------------------------------------------------------ *)
 (* resilience                                                          *)

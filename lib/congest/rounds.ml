@@ -8,10 +8,12 @@ type t = {
   message_categories : (string, int) Hashtbl.t;
   trace : Trace.t;
   metrics : Metrics.t;
+  prof : Prof.t;
   hook : Network.hook option;
 }
 
-let create ?(trace = Trace.noop) ?(metrics = Metrics.noop) ?hook () =
+let create ?(trace = Trace.noop) ?(metrics = Metrics.noop) ?(prof = Prof.noop)
+    ?hook () =
   {
     total = 0;
     total_messages = 0;
@@ -20,11 +22,13 @@ let create ?(trace = Trace.noop) ?(metrics = Metrics.noop) ?hook () =
     message_categories = Hashtbl.create 16;
     trace;
     metrics;
+    prof;
     hook;
   }
 
 let trace t = t.trace
 let metrics t = t.metrics
+let prof t = t.prof
 let hook t = t.hook
 let subscribe t f = Trace.subscribe t.trace f
 
@@ -57,6 +61,14 @@ let total_messages t = t.total_messages
 let scoped t name f =
   t.prefix <- name :: t.prefix;
   Trace.begin_span t.trace name;
+  let f =
+    (* wall-clock profile each phase under its fully scoped path, so the
+       profile report and the round breakdown use one naming scheme *)
+    if Prof.enabled t.prof then (
+      let path = String.concat "/" (List.rev t.prefix) in
+      fun () -> Prof.span t.prof path f)
+    else f
+  in
   Fun.protect
     ~finally:(fun () ->
       Trace.end_span t.trace;

@@ -19,7 +19,12 @@ open Kecss_obs
 type t
 
 val create :
-  ?trace:Trace.t -> ?metrics:Metrics.t -> ?hook:Network.hook -> unit -> t
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  ?prof:Prof.t ->
+  ?hook:Network.hook ->
+  unit ->
+  t
 
 val trace : t -> Trace.t
 (** The attached trace ([Trace.noop] unless one was passed at creation).
@@ -27,6 +32,12 @@ val trace : t -> Trace.t
 
 val metrics : t -> Metrics.t
 (** The attached engine-metrics collector (or [Metrics.noop]). *)
+
+val prof : t -> Prof.t
+(** The attached wall-clock profiler (or [Prof.noop]). When recording,
+    every {!scoped} phase is also measured as a {!Kecss_obs.Prof.span}
+    under its fully scoped path (e.g. ["tap/iteration"]) — wall time and
+    GC deltas, kept entirely outside the logical round clock. *)
 
 val hook : t -> Network.hook option
 (** The attached engine interposition hook, if any. The primitives pass it

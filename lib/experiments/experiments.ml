@@ -35,20 +35,45 @@ let ledger_factory =
 let set_ledger_factory f = ledger_factory := f
 let ledger () = !ledger_factory ()
 
+(* When the CLI wires every ledger to one shared trace/metrics pair it
+   registers the pair here, and [par_cells] brackets its fan-out in a
+   sharded region so concurrent cells record without racing and the
+   merged stream keeps canonical cell order (see [Trace.shard_begin]).
+   The defaults are the noop sinks, on which sharding costs nothing. *)
+let shared_sinks = ref (Kecss_obs.Trace.noop, Kecss_obs.Metrics.noop)
+let set_shared_sinks ~trace ~metrics = shared_sinks := (trace, metrics)
+
 (* Independent experiment cells on the pool: [par_cells f xs] computes
    [f x] for every workload cell and returns the results in list order,
    so tables and snapshot rows are appended in the same canonical order
    as the sequential elaboration. Cells must be self-contained — own rng
-   streams, own ledger via {!ledger}, no writes to shared sinks. When
-   the CLI wires ledgers to a shared trace it calls [set_cells_inline
-   true]: cells then run sequentially so trace events keep program
-   order. *)
-let cells_inline = ref false
-let set_cells_inline b = cells_inline := b
-
+   streams, own ledger via {!ledger} — and any sinks those ledgers share
+   must be the registered {!set_shared_sinks} pair, which the sharded
+   region below makes safe and deterministic at any [--jobs]. *)
 let par_cells f xs =
-  if !cells_inline then List.map f xs
-  else Array.to_list (Kecss_par.Pool.map ~chunk:1 f (Array.of_list xs))
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if Kecss_par.Pool.in_task () then
+    (* nested fan-out runs inline inside the enclosing cell's shard *)
+    List.map f xs
+  else begin
+    let trace, metrics = !shared_sinks in
+    let out = Array.make n None in
+    Kecss_obs.Trace.shard_begin trace n;
+    Kecss_obs.Metrics.shard_begin metrics n;
+    Fun.protect
+      ~finally:(fun () ->
+        Kecss_obs.Metrics.shard_merge metrics;
+        Kecss_obs.Trace.shard_merge trace)
+      (fun () ->
+        Kecss_par.Pool.parallel_for ~chunk:1 n (fun i ->
+            Kecss_obs.Trace.shard_run trace i (fun () ->
+                Kecss_obs.Metrics.shard_run metrics i (fun () ->
+                    out.(i) <- Some (f arr.(i))))));
+    Array.to_list
+      (Array.map (function Some x -> x | None -> assert false) out)
+  end
 
 let snapshot_columns =
   [

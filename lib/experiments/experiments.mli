@@ -14,13 +14,16 @@ val set_ledger_factory : (unit -> Kecss_congest.Rounds.t) -> unit
     telemetry snapshots); the CLI's [experiment --trace] installs a factory
     whose ledgers share one trace/metrics sink. *)
 
-val set_cells_inline : bool -> unit
-(** [set_cells_inline true] makes the heavy experiments run their
-    independent workload cells sequentially instead of fanning them out
-    over {!Kecss_par.Pool.default}. Cell fan-out appends rows and
-    telemetry snapshots in canonical workload order either way, so
-    tables are identical; the CLI sets this when ledgers share one trace
-    sink, whose events must arrive in program order. *)
+val set_shared_sinks :
+  trace:Kecss_obs.Trace.t -> metrics:Kecss_obs.Metrics.t -> unit
+(** Register the trace/metrics pair the installed ledger factory shares
+    between ledgers (the CLI's [experiment --trace]/[--metrics] sinks).
+    The heavy experiments fan their workload cells out over
+    {!Kecss_par.Pool.default}; registered sinks are recorded through a
+    sharded region ({!Kecss_obs.Trace.shard_begin}) so the cells run in
+    parallel at any [--jobs] while the merged event stream, metrics
+    series and table rows keep canonical workload order — byte-identical
+    to a sequential run. Defaults to the noop sinks. *)
 
 type exp = {
   id : string;          (** e.g. "T1.1-rounds" *)

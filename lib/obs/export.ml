@@ -95,6 +95,90 @@ let chrome_to_file t path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (chrome t))
 
+(* ----- profiling reports ----- *)
+
+let ms ns = ns /. 1e6
+let kwords w = w /. 1e3
+
+let prof_table ppf p =
+  match Prof.stats p with
+  | [] -> ()
+  | stats ->
+    table ppf ~title:"wall-clock profile (ms; GC in kwords)"
+      ~columns:
+        [
+          "span"; "calls"; "total"; "max"; "p50"; "p90"; "p99"; "minor";
+          "major"; "gcs";
+        ]
+      (List.map
+         (fun (s : Prof.stat) ->
+           [
+             S s.name;
+             I s.calls;
+             F (ms s.total_ns);
+             F (ms s.max_ns);
+             F (ms (Prof.Hist.p50 s.hist));
+             F (ms (Prof.Hist.p90 s.hist));
+             F (ms (Prof.Hist.p99 s.hist));
+             F (kwords s.gc.minor_words);
+             F (kwords s.gc.major_words);
+             I (s.gc.minor_collections + s.gc.major_collections);
+           ])
+         stats)
+
+let prof_jsonl p =
+  let buf = Buffer.create 1024 in
+  (match Prof.to_json p with
+  | Json.List objs ->
+    List.iter
+      (fun o ->
+        Json.to_buffer buf o;
+        Buffer.add_char buf '\n')
+      objs
+  | other ->
+    Json.to_buffer buf other;
+    Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let pool_table ppf ~jobs ~lifetime_ns stats =
+  let rows =
+    List.mapi
+      (fun i (busy_ns, tasks) ->
+        let share =
+          if lifetime_ns > 0.0 then 100.0 *. busy_ns /. lifetime_ns else 0.0
+        in
+        [
+          S (if i = 0 then "0 (submitter)" else string_of_int i);
+          I tasks;
+          F (ms busy_ns);
+          F (ms (Float.max 0.0 (lifetime_ns -. busy_ns)));
+          F share;
+        ])
+      (Array.to_list stats)
+  in
+  table ppf
+    ~title:(Printf.sprintf "pool utilization (%d domains)" jobs)
+    ~columns:[ "domain"; "tasks"; "busy ms"; "idle ms"; "busy %" ]
+    rows
+
+let pool_to_json ~jobs ~lifetime_ns stats =
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs);
+      ("lifetime_ns", Json.Float lifetime_ns);
+      ( "domains",
+        Json.List
+          (List.mapi
+             (fun i (busy_ns, tasks) ->
+               Json.Obj
+                 [
+                   ("domain", Json.Int i);
+                   ("tasks", Json.Int tasks);
+                   ("busy_ns", Json.Float busy_ns);
+                 ])
+             (Array.to_list stats)) );
+    ]
+
 let metrics_table ppf m =
   let s = Metrics.summary m in
   table ppf ~title:"CONGEST engine metrics" ~columns:[ "metric"; "value" ]

@@ -33,3 +33,31 @@ val chrome_to_file : Trace.t -> string -> unit
 
 val metrics_table : Format.formatter -> Metrics.t -> unit
 (** The metrics summary as a two-column table. *)
+
+(** {1 Profiling reports}
+
+    Renderers for the [--profile] outputs: per-span wall-clock/GC
+    aggregates ({!Prof}) and per-domain pool utilization. Pool stats are
+    passed as [(busy_ns, tasks)] pairs in domain order (index 0 is the
+    submitting domain) so this library does not depend on the pool. *)
+
+val prof_table : Format.formatter -> Prof.t -> unit
+(** Per-span profile as an aligned table (times in ms, GC in kwords).
+    Prints nothing when no spans were recorded. *)
+
+val prof_jsonl : Prof.t -> string
+(** One JSON object per span, newline-delimited, in name order. *)
+
+val pool_table :
+  Format.formatter ->
+  jobs:int ->
+  lifetime_ns:float ->
+  (float * int) array ->
+  unit
+(** Per-domain busy/idle wall-clock and task counts, with busy share of
+    the pool's lifetime. *)
+
+val pool_to_json :
+  jobs:int -> lifetime_ns:float -> (float * int) array -> Json.t
+(** The same utilization data as a JSON object (the [profile.pool]
+    section of [bench-metrics.json]). *)

@@ -29,6 +29,21 @@ val on_send : t -> edge:int -> unit
 val on_round : t -> messages:int -> active:int -> unit
 val run_end : t -> quiesced:bool -> rounds:int -> unit
 
+(** {1 Sharded recording for parallel sections}
+
+    The collector analogue of {!Trace.shard_begin}: inside a region, each
+    pool task records runs/rounds/edge loads into a private per-index
+    shard, and {!shard_merge} folds the shards back in ascending index
+    order — series are concatenated, totals and per-edge loads summed,
+    quiescence lists appended — so the merged collector equals the one a
+    sequential run in index order would have produced, at any [--jobs].
+    If the collector carries a trace, each shard's round samples are
+    emitted through the trace's own sharding and rebase with it. *)
+
+val shard_begin : t -> int -> unit
+val shard_run : t -> int -> (unit -> 'a) -> 'a
+val shard_merge : t -> unit
+
 (** {1 Accessors} *)
 
 val rounds_observed : t -> int

@@ -20,6 +20,13 @@ type batch = {
   mutable failures : (int * exn * Printexc.raw_backtrace) list; (* ditto *)
 }
 
+(* Per-domain utilization cell. Written only by the owning domain (slot 0
+   is the submitting domain, slot i >= 1 worker i), and each task's stat
+   write happens before the completed-count bump takes the pool mutex, so
+   the submitter's post-batch reads are well-ordered. Purely
+   observational: never read on any result path. *)
+type stat_cell = { mutable busy_ns : float; mutable tasks : int }
+
 type t = {
   jobs : int;
   m : Mutex.t;
@@ -29,7 +36,13 @@ type t = {
   mutable epoch : int; (* bumped per batch so a worker joins each once *)
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
+  stat_cells : stat_cell array; (* one per domain, slot 0 = submitter *)
+  mutable stats_base_ns : float; (* wall clock at creation / last reset *)
 }
+
+type stat = { busy_ns : float; tasks : int }
+
+let wall_ns () = Unix.gettimeofday () *. 1e9
 
 (* Set while the calling domain executes a pool task — including inline
    execution under [jobs = 1], so nesting behaves identically at every
@@ -38,17 +51,23 @@ let in_task_key = Domain.DLS.new_key (fun () -> ref false)
 
 let in_task () = !(Domain.DLS.get in_task_key)
 
-let drain t b =
+let drain t ~slot b =
   let flag = Domain.DLS.get in_task_key in
   flag := true;
+  let cell = t.stat_cells.(slot) in
   let rec loop () =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.ntasks then begin
+      let t0 = wall_ns () in
       (match b.f i with
       | () ->
+        cell.busy_ns <- cell.busy_ns +. Float.max 0.0 (wall_ns () -. t0);
+        cell.tasks <- cell.tasks + 1;
         Mutex.lock t.m;
         b.completed <- b.completed + 1
       | exception e ->
+        cell.busy_ns <- cell.busy_ns +. Float.max 0.0 (wall_ns () -. t0);
+        cell.tasks <- cell.tasks + 1;
         let bt = Printexc.get_raw_backtrace () in
         Mutex.lock t.m;
         b.failures <- (i, e, bt) :: b.failures;
@@ -60,7 +79,7 @@ let drain t b =
   in
   Fun.protect ~finally:(fun () -> flag := false) loop
 
-let rec worker t last_epoch =
+let rec worker t ~slot last_epoch =
   Mutex.lock t.m;
   while (not t.stopped) && (t.batch = None || t.epoch = last_epoch) do
     Condition.wait t.work t.m
@@ -70,8 +89,8 @@ let rec worker t last_epoch =
     let epoch = t.epoch in
     let b = Option.get t.batch in
     Mutex.unlock t.m;
-    drain t b;
-    worker t epoch
+    drain t ~slot b;
+    worker t ~slot epoch
   end
 
 let create ~jobs =
@@ -86,12 +105,32 @@ let create ~jobs =
       epoch = 0;
       stopped = false;
       workers = [];
+      stat_cells =
+        Array.init jobs (fun _ -> ({ busy_ns = 0.0; tasks = 0 } : stat_cell));
+      stats_base_ns = wall_ns ();
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker t ~slot:(i + 1) 0));
   t
 
 let jobs t = t.jobs
+
+let stats t =
+  Array.map
+    (fun (c : stat_cell) -> { busy_ns = c.busy_ns; tasks = c.tasks })
+    t.stat_cells
+
+let lifetime_ns t = Float.max 0.0 (wall_ns () -. t.stats_base_ns)
+
+let reset_stats t =
+  Array.iter
+    (fun (c : stat_cell) ->
+      c.busy_ns <- 0.0;
+      c.tasks <- 0)
+    t.stat_cells;
+  t.stats_base_ns <- wall_ns ()
 
 let shutdown t =
   Mutex.lock t.m;
@@ -117,17 +156,21 @@ let reraise_first_failure b =
 (* inline elaboration, used under [jobs = 1] and for 1-task batches: same
    failure semantics as the pooled path (every task runs, lowest-index
    failure re-raised) so behavior is identical at every pool size *)
-let run_inline ~ntasks f =
+let run_inline t ~ntasks f =
   let flag = Domain.DLS.get in_task_key in
   flag := true;
+  let cell = t.stat_cells.(0) in
   let failures = ref [] in
   Fun.protect
     ~finally:(fun () -> flag := false)
     (fun () ->
       for i = 0 to ntasks - 1 do
-        try f i
-        with e ->
-          failures := (i, e, Printexc.get_raw_backtrace ()) :: !failures
+        let t0 = wall_ns () in
+        (try f i
+         with e ->
+           failures := (i, e, Printexc.get_raw_backtrace ()) :: !failures);
+        cell.busy_ns <- cell.busy_ns +. Float.max 0.0 (wall_ns () -. t0);
+        cell.tasks <- cell.tasks + 1
       done);
   match !failures with
   | [] -> ()
@@ -142,7 +185,7 @@ let run_batch t ~ntasks f =
     failwith
       "Kecss_par.Pool: nested parallel submission (a pool task must not \
        submit work to a pool)"
-  else if t.jobs = 1 || ntasks = 1 then run_inline ~ntasks f
+  else if t.jobs = 1 || ntasks = 1 then run_inline t ~ntasks f
   else begin
     let b =
       { f; ntasks; next = Atomic.make 0; completed = 0; failures = [] }
@@ -160,7 +203,7 @@ let run_batch t ~ntasks f =
     t.epoch <- t.epoch + 1;
     Condition.broadcast t.work;
     Mutex.unlock t.m;
-    drain t b;
+    drain t ~slot:0 b;
     Mutex.lock t.m;
     while b.completed < b.ntasks do
       Condition.wait t.finished t.m

@@ -58,6 +58,31 @@ val in_task : unit -> bool
 (** Is the calling domain currently executing a pool task? (This is when
     the combinators below run inline.) *)
 
+(** {1 Utilization instrumentation}
+
+    Purely observational per-domain counters — wall-clock time spent
+    executing tasks and the number of tasks executed — for the
+    [--profile] reports. Each domain writes only its own cell, and
+    nothing on any result path ever reads them, so the determinism
+    contract is untouched. Note that {e which} domain ran a task is
+    scheduling-dependent by design: the busy/task split across domains
+    varies run to run even though results never do. *)
+
+type stat = { busy_ns : float; tasks : int }
+
+val stats : t -> stat array
+(** One entry per domain in domain order; index 0 is the submitting
+    domain, index [i >= 1] the [i]-th spawned worker. Read after batches
+    complete (mid-batch reads may miss in-flight tasks). *)
+
+val lifetime_ns : t -> float
+(** Wall-clock nanoseconds since the pool was created (or since
+    {!reset_stats}) — the denominator for a busy/idle utilization view. *)
+
+val reset_stats : t -> unit
+(** Zero the counters and restart the lifetime clock, so a profiled
+    section can be measured on its own. *)
+
 (** {1 Core batch submission} *)
 
 val run_batch : t -> ntasks:int -> (int -> unit) -> unit

@@ -64,6 +64,114 @@ let test_counters () =
   check_is "counter events carry cumulative values"
     (totals = [ Trace.Int 3; Trace.Int 7 ])
 
+(* a subscriber that emits back into the trace it observes would corrupt
+   the stream mid-dispatch: the guard must refuse loudly *)
+let test_subscribe_reentrancy () =
+  let tr = Trace.create () in
+  let failures = ref 0 in
+  Trace.subscribe tr (fun _ ->
+      match Trace.instant tr "echo" with
+      | () -> ()
+      | exception Invalid_argument _ -> incr failures);
+  Trace.instant tr "ping";
+  check_int "re-entrant emit rejected" 1 !failures;
+  (* the guard resets: later first-level emissions still work *)
+  Trace.instant tr "pong";
+  check_int "trace still live" 2 !failures;
+  check_int "only first-level events recorded" 2 (Trace.event_count tr)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded recording                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* the per-cell workload the shard tests replay: spans, clock advances,
+   counters and instants, all index-dependent *)
+let shard_cell tr i =
+  Trace.span tr (Printf.sprintf "cell%d" i) (fun () ->
+      Trace.advance tr (float_of_int (i + 1));
+      Trace.count tr "msgs" (i + 2);
+      Trace.instant tr ~args:[ ("i", Trace.Int i) ] "tick";
+      Trace.span tr "inner" (fun () -> Trace.advance tr 0.5))
+
+let test_trace_shard_merge () =
+  (* reference: the same cells run inline, in index order *)
+  let seq = Trace.create () in
+  Trace.instant seq "prologue";
+  Trace.advance seq 2.0;
+  for i = 0 to 2 do
+    shard_cell seq i
+  done;
+  Trace.instant seq "epilogue";
+  (* sharded: cells recorded out of order, merged at the boundary *)
+  let sh = Trace.create () in
+  Trace.instant sh "prologue";
+  Trace.advance sh 2.0;
+  Trace.shard_begin sh 3;
+  List.iter (fun i -> Trace.shard_run sh i (fun () -> shard_cell sh i)) [ 2; 0; 1 ];
+  Trace.shard_merge sh;
+  Trace.instant sh "epilogue";
+  Alcotest.(check string)
+    "merged stream byte-identical to sequential" (Export.jsonl seq)
+    (Export.jsonl sh);
+  check_int "counters merge cumulatively" (Trace.counter_total seq "msgs")
+    (Trace.counter_total sh "msgs");
+  check_is "clock advanced by the shard sum" (Trace.now sh = Trace.now seq)
+
+let test_trace_shard_local_views () =
+  let tr = Trace.create () in
+  Trace.advance tr 4.0;
+  Trace.count tr "msgs" 10;
+  Trace.shard_begin tr 2;
+  Trace.shard_run tr 1 (fun () ->
+      check_is "shard clock starts at region open" (Trace.now tr = 4.0);
+      Trace.advance tr 3.0;
+      check_is "shard-local advance visible" (Trace.now tr = 7.0);
+      Trace.count tr "msgs" 5;
+      check_int "shard counter = main + local delta" 15
+        (Trace.counter_total tr "msgs"));
+  (* sibling shards never see each other *)
+  Trace.shard_run tr 0 (fun () ->
+      check_is "sibling unaffected by shard 1" (Trace.now tr = 4.0);
+      check_int "sibling counter unaffected" 10 (Trace.counter_total tr "msgs"));
+  check_is "main clock frozen until merge" (Trace.now tr = 4.0);
+  Trace.shard_merge tr;
+  check_is "merge sums shard advances" (Trace.now tr = 7.0);
+  check_int "merge folds counter deltas" 15 (Trace.counter_total tr "msgs");
+  (* a second region on the same trace must start clean *)
+  Trace.shard_begin tr 1;
+  Trace.shard_run tr 0 (fun () -> Trace.advance tr 1.0);
+  Trace.shard_merge tr;
+  check_is "second region rebases" (Trace.now tr = 8.0)
+
+let test_metrics_shard_merge () =
+  let record m i =
+    Metrics.run_begin m;
+    for r = 0 to i do
+      Metrics.on_send m ~edge:i;
+      Metrics.on_round m ~messages:1 ~active:(i + 1 - r)
+    done;
+    Metrics.run_end m ~quiesced:true ~rounds:(i + 1)
+  in
+  let seq = Metrics.create () in
+  for i = 0 to 3 do
+    record seq i
+  done;
+  let sh = Metrics.create () in
+  Metrics.shard_begin sh 4;
+  List.iter
+    (fun i -> Metrics.shard_run sh i (fun () -> record sh i))
+    [ 3; 1; 0; 2 ];
+  Metrics.shard_merge sh;
+  check_is "summary identical" (Metrics.summary seq = Metrics.summary sh);
+  check_is "messages series identical"
+    (Metrics.messages_series seq = Metrics.messages_series sh);
+  check_is "active series identical"
+    (Metrics.active_series seq = Metrics.active_series sh);
+  check_is "quiescence rounds identical"
+    (Metrics.quiescence_rounds seq = Metrics.quiescence_rounds sh);
+  check_is "hottest edge identical"
+    (Metrics.hottest_edge seq = Metrics.hottest_edge sh)
+
 let test_noop_trace_records_nothing () =
   let tr = Trace.noop in
   Trace.span tr "a" (fun () -> Trace.count tr "c" 5);
@@ -153,6 +261,122 @@ let test_chrome_wellformed () =
       "\"ecss2\""; "\"mst\""; "\"segments\""; "\"tap/iteration\"";
       "messages/round";
     ]
+
+(* round-trip the Chrome export through our own parser: every duration
+   event must pair B/E like a well-formed stack and timestamps must never
+   go backwards *)
+let test_chrome_roundtrip () =
+  let tr, _, _ = traced_solve () in
+  let doc =
+    match Json.parse (Export.chrome tr) with
+    | Ok v -> v
+    | Error e -> Alcotest.fail ("chrome trace does not reparse: " ^ e)
+  in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  check_is "at least as many json events as trace events"
+    (List.length events >= Trace.event_count tr);
+  let field name j =
+    match Json.member name j with
+    | Some v -> v
+    | None -> Alcotest.fail ("event missing field " ^ name)
+  in
+  let str j = Option.get (Json.to_string_opt j) in
+  let last_ts = ref neg_infinity in
+  let stack = ref [] in
+  List.iter
+    (fun ev ->
+      let ph = str (field "ph" ev) in
+      let name = str (field "name" ev) in
+      let ts =
+        match Json.to_float_opt (field "ts" ev) with
+        | Some f -> f
+        | None -> Alcotest.fail "ts is not a number"
+      in
+      check_is "ts monotonically nondecreasing" (ts >= !last_ts);
+      last_ts := ts;
+      check_int "single thread" 1
+        (Option.get (Json.to_int_opt (field "tid" ev)));
+      match ph with
+      | "B" -> stack := name :: !stack
+      | "E" -> (
+        match !stack with
+        | top :: rest ->
+          Alcotest.(check string) "E closes the innermost open B" top name;
+          stack := rest
+        | [] -> Alcotest.fail ("E without open B: " ^ name))
+      | "i" | "C" -> ()
+      | ph -> Alcotest.fail ("unexpected phase " ^ ph))
+    events;
+  check_is "every B closed" (!stack = [])
+
+(* ------------------------------------------------------------------ *)
+(* Prof: wall-clock spans, GC deltas, histograms                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_percentiles () =
+  let h = Prof.Hist.create () in
+  check_is "empty percentile" (Prof.Hist.percentile h 0.5 = 0.0);
+  (* 1..100 ms: percentiles must be bucket-approximate but ordered and
+     clamped to the observed range *)
+  for i = 1 to 100 do
+    Prof.Hist.add h (float_of_int i *. 1e6)
+  done;
+  check_int "count" 100 (Prof.Hist.count h);
+  check_is "min" (Prof.Hist.min_ns h = 1e6);
+  check_is "max" (Prof.Hist.max_ns h = 1e8);
+  let p50 = Prof.Hist.p50 h
+  and p90 = Prof.Hist.p90 h
+  and p99 = Prof.Hist.p99 h in
+  check_is "ordered" (p50 <= p90 && p90 <= p99);
+  check_is "p50 in range" (p50 >= 1e6 && p50 <= 1e8);
+  (* geometric buckets are ~19% wide: allow one bucket of slack *)
+  check_is "p50 near the median" (p50 >= 35e6 && p50 <= 70e6);
+  check_is "p99 near the tail" (p99 >= 70e6 && p99 <= 1e8);
+  (* extremes clamp instead of reporting bucket edges *)
+  check_is "q=0 clamps to min" (Prof.Hist.percentile h 0.0 >= 1e6);
+  check_is "q=1 clamps to max" (Prof.Hist.percentile h 1.0 <= 1e8);
+  (* out-of-range observations land in the overflow buckets but keep
+     exact min/max *)
+  let o = Prof.Hist.create () in
+  Prof.Hist.add o 1.0;
+  Prof.Hist.add o 1e12;
+  check_is "underflow keeps min" (Prof.Hist.min_ns o = 1.0);
+  check_is "overflow keeps max" (Prof.Hist.max_ns o = 1e12);
+  check_is "underflow percentile = min" (Prof.Hist.percentile o 0.4 = 1.0);
+  check_is "overflow percentile = max" (Prof.Hist.percentile o 1.0 = 1e12)
+
+let test_prof_span () =
+  let p = Prof.create () in
+  check_is "enabled" (Prof.enabled p);
+  let r = Prof.span p "work" (fun () -> Sys.opaque_identity (List.init 1000 Fun.id)) in
+  check_int "span returns the result" 1000 (List.length r);
+  ignore (Prof.span p "work" (fun () -> ()));
+  (try Prof.span p "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Prof.stats p with
+  | [ boom; work ] ->
+    Alcotest.(check string) "sorted by name" "boom" boom.Prof.name;
+    Alcotest.(check string) "second" "work" work.Prof.name;
+    check_int "calls aggregated" 2 work.Prof.calls;
+    check_int "exception-safe recording" 1 boom.Prof.calls;
+    check_is "wall time measured" (work.Prof.total_ns >= 0.0);
+    check_is "max <= total" (work.Prof.max_ns <= work.Prof.total_ns);
+    check_int "histogram count = calls" 2 (Prof.Hist.count work.Prof.hist);
+    check_is "allocations observed" (work.Prof.gc.Prof.minor_words > 0.0);
+    (match Json.check (Json.to_string (Prof.to_json p)) with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail ("prof json invalid: " ^ e))
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 stats, got %d" (List.length l))
+
+let test_prof_noop () =
+  let p = Prof.noop in
+  check_is "disabled" (not (Prof.enabled p));
+  check_int "span still runs" 7 (Prof.span p "x" (fun () -> 7));
+  check_is "no stats" (Prof.stats p = []);
+  check_is "allocated_words grows" (Prof.allocated_words () > 0.0)
 
 (* ------------------------------------------------------------------ *)
 (* Engine metrics                                                      *)
@@ -362,7 +586,21 @@ let () =
         [
           case "span nesting" test_span_nesting;
           case "counters" test_counters;
+          case "subscriber re-entrancy rejected" test_subscribe_reentrancy;
           case "noop records nothing" test_noop_trace_records_nothing;
+        ] );
+      ( "shards",
+        [
+          case "merged stream equals sequential run" test_trace_shard_merge;
+          case "shard-local clock and counter views"
+            test_trace_shard_local_views;
+          case "metrics shards merge in index order" test_metrics_shard_merge;
+        ] );
+      ( "prof",
+        [
+          case "histogram percentiles" test_hist_percentiles;
+          case "span aggregation and GC deltas" test_prof_span;
+          case "noop profiler" test_prof_noop;
         ] );
       ( "rounds-integration",
         [
@@ -373,6 +611,8 @@ let () =
         [
           case "jsonl well-formed" test_jsonl_wellformed;
           case "chrome well-formed" test_chrome_wellformed;
+          case "chrome round-trip: B/E pairing, monotone ts"
+            test_chrome_roundtrip;
           case "json validator" test_json_check;
         ] );
       ( "json-parse",

@@ -251,6 +251,69 @@ let test_engine_identical () =
   Alcotest.(check int) "messages" m1 m4;
   Alcotest.(check bool) "metrics summary" true (sum1 = sum4)
 
+(* sharded sinks under real pool parallelism: cells record into one
+   shared trace/metrics pair from worker domains, and the merged exports
+   must be byte-identical to the jobs = 1 run *)
+let sharded_cells jobs =
+  let trace = Kecss_obs.Trace.create () in
+  let metrics = Kecss_obs.Metrics.create ~trace () in
+  with_pool jobs (fun pool ->
+      let n = 6 in
+      Kecss_obs.Trace.shard_begin trace n;
+      Kecss_obs.Metrics.shard_begin metrics n;
+      Fun.protect
+        ~finally:(fun () ->
+          Kecss_obs.Metrics.shard_merge metrics;
+          Kecss_obs.Trace.shard_merge trace)
+        (fun () ->
+          Pool.parallel_for ~pool ~chunk:1 n (fun i ->
+              Kecss_obs.Trace.shard_run trace i (fun () ->
+                  Kecss_obs.Metrics.shard_run metrics i (fun () ->
+                      let g = test_graph ~n:24 ~k:2 ~seed:(100 + i) in
+                      let ledger = Rounds.create ~trace ~metrics () in
+                      ignore
+                        (Ecss2.solve_with ledger (Rng.create ~seed:1) g))))));
+  ( Kecss_obs.Export.jsonl trace,
+    Kecss_obs.Trace.counter_total trace "messages",
+    Kecss_obs.Metrics.summary metrics )
+
+let test_sharded_sinks_identical () =
+  let j1, c1, s1 = sharded_cells 1 and j4, c4, s4 = sharded_cells 4 in
+  Alcotest.(check int) "merged message counter" c1 c4;
+  Alcotest.(check bool) "merged metrics summary" true (s1 = s4);
+  Alcotest.(check string) "merged event stream byte-identical" j1 j4
+
+(* ---------- utilization instrumentation ---------- *)
+
+let test_pool_stats () =
+  with_pool 3 (fun pool ->
+      let stats0 = Pool.stats pool in
+      Alcotest.(check int) "one cell per domain" 3 (Array.length stats0);
+      Array.iter
+        (fun s -> Alcotest.(check int) "starts at zero" 0 s.Pool.tasks)
+        stats0;
+      Pool.parallel_for ~pool ~chunk:1 100 (fun i ->
+          Sys.opaque_identity (ref i) |> ignore);
+      let stats = Pool.stats pool in
+      let total_tasks = Array.fold_left (fun a s -> a + s.Pool.tasks) 0 stats in
+      Alcotest.(check int) "every task accounted to exactly one domain" 100
+        total_tasks;
+      Array.iter
+        (fun s -> Alcotest.(check bool) "busy time nonnegative" true
+            (s.Pool.busy_ns >= 0.0))
+        stats;
+      Alcotest.(check bool) "pool lifetime positive" true
+        (Pool.lifetime_ns pool > 0.0);
+      Pool.reset_stats pool;
+      Array.iter
+        (fun s ->
+          Alcotest.(check int) "reset clears tasks" 0 s.Pool.tasks;
+          Alcotest.(check bool) "reset clears busy" true (s.Pool.busy_ns = 0.0))
+        (Pool.stats pool);
+      (* inline execution accounts to the submitter cell *)
+      Pool.parallel_for ~pool 1 (fun _ -> ());
+      Alcotest.(check int) "submitter cell" 1 (Pool.stats pool).(0).Pool.tasks)
+
 (* the persistent duplicate-send scratch: detection must survive across
    many runs on one domain (the stamp strictly increases, stale cells
    never match) *)
@@ -319,7 +382,11 @@ let () =
             test_resilience_identical;
           case "engine run identical at jobs 1 and 4 on a sharding-size graph"
             test_engine_identical;
+          case "sharded trace/metrics sinks identical at jobs 1 and 4"
+            test_sharded_sinks_identical;
           case "duplicate-send detection survives across runs"
             test_duplicate_detection_across_runs;
         ] );
+      ( "instrumentation",
+        [ case "per-domain busy/task accounting" test_pool_stats ] );
     ]
