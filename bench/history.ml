@@ -21,6 +21,11 @@ type exp_summary = {
   allocated_words : float;
       (* words allocated by the solve, measured at jobs = 1 where the
          total is deterministic; 0 for entries predating the metric *)
+  critical_path : int;
+      (* causal critical rounds: per engine run, the longest message
+         dependency chain, summed over runs — the engine's round-count
+         lower bound. Deterministic at every jobs; 0 for entries
+         predating the metric *)
 }
 
 type entry = {
@@ -60,6 +65,7 @@ let exp_to_json e =
       ("lower_bound", Json.Int e.lower_bound);
       ("ratio", Json.Float e.ratio);
       ("allocated_words", Json.Float e.allocated_words);
+      ("critical_path", Json.Int e.critical_path);
     ]
 
 let entry_to_json e =
@@ -100,6 +106,7 @@ let exp_of_json j =
     allocated_words =
       Option.bind (Json.member "allocated_words" j) Json.to_float_opt
       |> Option.value ~default:0.0;
+    critical_path = int_field j "critical_path";
   }
 
 let entry_of_json j =
@@ -247,6 +254,18 @@ let compare ~threshold ~old_e ~new_e =
           else if ne.allocated_words > 0.0 then
             Printf.printf "%-20s %-10s %14s %14s %8s %s\n" id "alloc" "-"
               (int_fmt ne.allocated_words)
+              "-" "new metric";
+          (* causal critical rounds follow the same skip-when-predating
+             rule as allocation: 0 means the entry was written before the
+             metric existed *)
+          if oe.critical_path > 0 && ne.critical_path > 0 then
+            metric "crit path"
+              (float_of_int oe.critical_path)
+              (float_of_int ne.critical_path)
+              int_fmt
+          else if ne.critical_path > 0 then
+            Printf.printf "%-20s %-10s %14s %14s %8s %s\n" id "crit path" "-"
+              (string_of_int ne.critical_path)
               "-" "new metric")
       new_e.experiments
   end;

@@ -349,6 +349,11 @@ type rep_run = {
   rr_weight : int;
   rr_lower_bound : int;
   rr_allocated : float; (* words allocated by the solve, at jobs = 1 *)
+  rr_causal : Kecss_obs.Causal.report;
+      (* critical-path attribution of a second, identical solve — the
+         recorder itself allocates, so it must stay out of the measured
+         run to keep allocated_words comparable with older history
+         entries *)
 }
 
 let mask_weight g mask =
@@ -381,7 +386,15 @@ let representative_solves ?(prof = Kecss_obs.Prof.noop) () =
     let rr_weight, rr_lower_bound = solve rr_ledger in
     Gc.full_major ();
     let rr_allocated = Kecss_obs.Prof.allocated_words () -. a0 in
-    { rr_name; rr_ledger; rr_metrics; rr_weight; rr_lower_bound; rr_allocated }
+    let rr_causal =
+      let causal = Kecss_obs.Causal.create () in
+      ignore (solve (Rounds.create ~causal ()));
+      Kecss_obs.Causal.analyze causal
+    in
+    {
+      rr_name; rr_ledger; rr_metrics; rr_weight; rr_lower_bound; rr_allocated;
+      rr_causal;
+    }
   in
   [
     run "ecss2-n64" (fun ledger ->
@@ -439,6 +452,14 @@ let write_metrics_json ~jobs ~profile runs path =
               ("rounds_by_category", categories (Rounds.by_category rr.rr_ledger));
               ( "messages_by_category",
                 categories (Rounds.messages_by_category rr.rr_ledger) );
+              ( "causal",
+                Obs.Json.Obj
+                  [
+                    ( "critical_rounds",
+                      Obs.Json.Int rr.rr_causal.Obs.Causal.rp_critical_rounds );
+                    ( "longest_chain",
+                      Obs.Json.Int rr.rr_causal.Obs.Causal.rp_critical );
+                  ] );
             ] ))
       runs
   in
@@ -476,6 +497,7 @@ let history_entry ~rev ~jobs ~profile micro_rows runs =
                    float_of_int rr.rr_weight /. float_of_int rr.rr_lower_bound
                  else Float.nan);
               allocated_words = rr.rr_allocated;
+              critical_path = rr.rr_causal.Kecss_obs.Causal.rp_critical_rounds;
             } ))
         runs;
     profile = Some profile;

@@ -3,6 +3,7 @@
    Subcommands:
      generate    write a workload graph to stdout/file
      solve       run one of the paper's algorithms on a graph file
+     explain     causal critical-path attribution of a run's rounds
      verify      check that an edge set is a k-ECSS of a graph
      audit       solve + verify + baselines + invariant monitor, as one record
      resilience  solve, then attack the solution with ≤ k−1 edge failures
@@ -211,6 +212,88 @@ let stalled_error ~report ~rounds ~active ~in_flight =
     "solver stalled under the fault plan (rounds=%d active=%d in_flight=%d)"
     rounds active in_flight
 
+(* ------------------------------------------------------------------ *)
+(* causal / flight plumbing                                            *)
+(* ------------------------------------------------------------------ *)
+
+let causal_arg =
+  let doc =
+    "Record the causal message graph (per-message dependency ids inside \
+     every engine run) and print critical-path attribution on stderr after \
+     the run: per-phase round attribution joined with the round ledger, \
+     the longest message dependency chains and the tightest (zero-slack) \
+     senders. Recording is confined to the engine's sequential passes, so \
+     the report is byte-identical at every --jobs."
+  in
+  Arg.(value & flag & info [ "causal" ] ~doc)
+
+let top_arg =
+  let doc =
+    "Bound the dependency-chain and slack tables (and the corresponding \
+     JSON lists) to $(docv) rows."
+  in
+  Arg.(value & opt (some int) None & info [ "top" ] ~docv:"N" ~doc)
+
+let phase_arg =
+  let doc =
+    "Keep only phase $(docv) and its sub-phases (prefix match on the \
+     phase path, e.g. $(b,mst) keeps $(b,mst/wave_up)) in the attribution \
+     tables and chain list."
+  in
+  Arg.(value & opt (some string) None & info [ "phase" ] ~docv:"NAME" ~doc)
+
+let flight_dump_arg =
+  let doc =
+    "Where to write the flight-recorder dump (kecss-flight/1 JSON). The \
+     recorder keeps a bounded per-vertex ring of the last rounds of sends, \
+     receives and activation flips whenever a fault plan or --monitor is \
+     active, and dumps automatically when the run stalls (no quiescence) \
+     or strict-mode invariant violations are found."
+  in
+  Arg.(
+    value
+    & opt string "kecss-flight.json"
+    & info [ "flight-dump" ] ~docv:"FILE" ~doc)
+
+let make_causal on =
+  if on then Kecss_obs.Causal.create () else Kecss_obs.Causal.noop
+
+let make_flight ~armed =
+  if armed then Kecss_obs.Flight.create () else Kecss_obs.Flight.noop
+
+(* the auto-dump: called from the stall and strict-violation paths; a dump
+   failure must not mask the error that triggered it, so it only warns *)
+let dump_flight ?stall ~reason ~path flight =
+  if Kecss_obs.Flight.enabled flight then begin
+    let doc = Kecss_obs.Flight.to_json ?stall ~reason flight in
+    match
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Kecss_obs.Json.to_string doc);
+          output_char oc '\n')
+    with
+    | exception Sys_error msg ->
+      Format.eprintf "flight recorder: cannot write %s: %s@." path msg
+    | () ->
+      Format.eprintf "flight recorder: %s after %d engine passes -> %s@."
+        reason
+        (Kecss_obs.Flight.passes flight)
+        path
+  end
+
+let report_causal ?top ?phase ppf causal ledger =
+  if Kecss_obs.Causal.enabled causal then begin
+    let report = Kecss_obs.Causal.analyze causal in
+    Kecss_obs.Export.causal_tables ppf ?top ?phase
+      ~total_rounds:(Kecss_congest.Rounds.total ledger)
+      ~total_messages:(Kecss_congest.Rounds.total_messages ledger)
+      ~rounds_by_category:(Kecss_congest.Rounds.by_category ledger)
+      ~messages_by_category:(Kecss_congest.Rounds.messages_by_category ledger)
+      report
+  end
+
 (* [--trace]/[--trace-jsonl] imply metric collection: the counter tracks
    come from the metrics hooks inside the engine. [--monitor] needs a
    recording trace to subscribe to, but not metrics. *)
@@ -378,7 +461,7 @@ let run_algo ledger ~algo ~k ~seed g =
   | a -> failwith ("unknown algorithm: " ^ a)
 
 let solve path algo k seed jobs quiet faults trace_path trace_jsonl metrics_on
-    monitor_mode profile =
+    monitor_mode profile causal_on flight_path =
   match apply_jobs jobs with
   | Error msg -> `Error (false, msg)
   | Ok () ->
@@ -393,8 +476,12 @@ let solve path algo k seed jobs quiet faults trace_path trace_jsonl metrics_on
   in
   let prof = make_prof profile in
   let injector = make_injector trace plan in
+  let causal = make_causal causal_on in
+  (* the flight recorder is armed exactly when a post-mortem could be
+     needed: a fault campaign (stalls) or the monitor (strict violations) *)
+  let flight = make_flight ~armed:(plan <> None || monitor_mode <> None) in
   let ledger =
-    Kecss_congest.Rounds.create ~trace ~metrics ~prof
+    Kecss_congest.Rounds.create ~trace ~metrics ~prof ~causal ~flight
       ?hook:(injector_hook injector) ()
   in
   (* even when faults kill the run, flush telemetry and the monitor report:
@@ -414,6 +501,14 @@ let solve path algo k seed jobs quiet faults trace_path trace_jsonl metrics_on
         ~report:(fun () -> report_faults injector)
         ~rounds ~active ~in_flight
     in
+    dump_flight
+      ~stall:
+        {
+          Kecss_obs.Flight.st_rounds = rounds;
+          st_active = active;
+          st_in_flight = in_flight;
+        }
+      ~reason:"stalled" ~path:flight_path flight;
     flush_on_fault ();
     `Error (false, msg)
   | exception e when Option.is_some injector ->
@@ -421,6 +516,8 @@ let solve path algo k seed jobs quiet faults trace_path trace_jsonl metrics_on
        assume (a parent edge, a fragment invariant); under a fault plan
        any failure is the campaign's doing, so report it structurally *)
     report_faults injector;
+    dump_flight ~reason:"solver failed under the fault plan" ~path:flight_path
+      flight;
     flush_on_fault ();
     `Error (false, "solver failed under the fault plan: " ^ Printexc.to_string e)
   | k, sol, rounds ->
@@ -435,12 +532,15 @@ let solve path algo k seed jobs quiet faults trace_path trace_jsonl metrics_on
       | None -> ());
       report_faults injector
     end;
+    report_causal Format.err_formatter causal ledger;
     print_solution g sol;
     match report_profile profile prof with
     | Error msg -> `Error (false, msg)
     | Ok () ->
     match monitor_verdict monitor_mode monitor with
-    | Error msg -> `Error (false, msg)
+    | Error msg ->
+      dump_flight ~reason:"monitor strict violations" ~path:flight_path flight;
+      `Error (false, msg)
     | Ok () ->
       if report.Verify.ok then `Ok ()
       else `Error (false, "solution failed verification")
@@ -461,7 +561,99 @@ let solve_cmd =
       ret
         (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ jobs_arg $ quiet
        $ faults_arg $ trace_arg $ trace_jsonl_arg $ metrics_arg $ monitor_arg
-       $ profile_arg))
+       $ profile_arg $ causal_arg $ flight_dump_arg))
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain path algo k seed jobs top phase json_out =
+  match apply_jobs jobs with
+  | Error msg -> `Error (false, msg)
+  | Ok () ->
+  match read_graph path with
+  | exception Sys_error msg -> `Error (false, "cannot read graph: " ^ msg)
+  | g ->
+  let causal = Kecss_obs.Causal.create () in
+  let ledger = Kecss_congest.Rounds.create ~causal () in
+  match run_algo ledger ~algo ~k ~seed g with
+  | exception Failure msg -> `Error (false, msg)
+  | k, _sol, _rounds -> (
+    let report = Kecss_obs.Causal.analyze causal in
+    let total_rounds = Kecss_congest.Rounds.total ledger in
+    let total_messages = Kecss_congest.Rounds.total_messages ledger in
+    let rounds_by_category = Kecss_congest.Rounds.by_category ledger in
+    let messages_by_category =
+      Kecss_congest.Rounds.messages_by_category ledger
+    in
+    match json_out with
+    | None ->
+      Kecss_obs.Export.causal_tables Format.std_formatter ?top ?phase
+        ~total_rounds ~total_messages ~rounds_by_category
+        ~messages_by_category report;
+      Format.pp_print_flush Format.std_formatter ();
+      `Ok ()
+    | Some file -> (
+      let extra =
+        [
+          ("algo", Kecss_obs.Json.Str algo);
+          ("k", Kecss_obs.Json.Int k);
+          ("n", Kecss_obs.Json.Int (Graph.n g));
+          ("m", Kecss_obs.Json.Int (Graph.m g));
+          ("seed", Kecss_obs.Json.Int seed);
+        ]
+      in
+      let doc =
+        Kecss_obs.Export.causal_to_json ?top ?phase ~extra ~total_rounds
+          ~total_messages ~rounds_by_category ~messages_by_category report
+      in
+      match
+        match file with
+        | "-" -> print_endline (Kecss_obs.Json.to_string doc)
+        | _ ->
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Kecss_obs.Json.to_string doc);
+              output_char oc '\n')
+      with
+      | exception Sys_error msg ->
+        `Error (false, "cannot write causal report: " ^ msg)
+      | () -> `Ok ()))
+
+let explain_cmd =
+  let algo =
+    let doc =
+      "Algorithm to explain: 2ecss, kecss, 3ecss-unweighted, 3ecss-weighted, \
+       ftmst, thurimella (the sequential baselines run no engine and have \
+       nothing to attribute)."
+    in
+    Arg.(value & opt string "2ecss" & info [ "algorithm"; "a" ] ~doc)
+  in
+  let json_out =
+    let doc =
+      "Write the kecss-causal/1 report as JSON to $(docv) (- for stdout) \
+       instead of the human-readable tables."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain where a run's round complexity comes from. Re-runs one \
+          algorithm with the causal message recorder on and reports \
+          per-phase round attribution — joined with the per-category round \
+          ledger, so the rounds column sums to the ledger's total round \
+          count — plus the longest message dependency chains (per engine \
+          run, a lower bound on that run's counted rounds) and the \
+          tightest senders by slack. Causal ids are assigned in the \
+          engine's sequential delivery pass, so both the tables and the \
+          JSON document are byte-identical at every --jobs.")
+    Term.(
+      ret
+        (const explain $ graph_arg $ algo $ k_arg $ seed_arg $ jobs_arg
+       $ top_arg $ phase_arg $ json_out))
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -630,7 +822,7 @@ let audit_cmd =
 (* ------------------------------------------------------------------ *)
 
 let experiment ids list_only jobs faults trace_path trace_jsonl metrics_on
-    monitor_mode profile =
+    monitor_mode profile causal_on =
   let module E = Kecss_experiments.Experiments in
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-14s %s\n" e.E.id e.E.title) E.all;
@@ -693,9 +885,40 @@ let experiment ids list_only jobs faults trace_path trace_jsonl metrics_on
         Format.eprintf "faults: %a over %d engine rounds in %d cells@."
           pp_stats total passes (List.length injs)
     in
+    (* like the injectors: one causal recorder per cell ledger, collected
+       under a mutex. The aggregate below uses only sums and maxima, so
+       the report is independent of cell completion order. *)
+    let causals = ref [] in
+    let causals_mu = Mutex.create () in
+    let fresh_causal () =
+      if not causal_on then Kecss_obs.Causal.noop
+      else begin
+        let c = Kecss_obs.Causal.create () in
+        Mutex.lock causals_mu;
+        causals := c :: !causals;
+        Mutex.unlock causals_mu;
+        c
+      end
+    in
+    let report_causal_totals () =
+      if causal_on then begin
+        let reports = List.map Kecss_obs.Causal.analyze !causals in
+        let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+        let maxi f = List.fold_left (fun a r -> max a (f r)) 0 reports in
+        Format.eprintf
+          "causal: %d cell(s), %d engine rounds traced, %d messages, %d \
+           runs; critical rounds %d, longest dependency chain %d@."
+          (List.length reports)
+          (sum (fun r -> r.Kecss_obs.Causal.rp_rounds))
+          (sum (fun r -> r.Kecss_obs.Causal.rp_messages))
+          (sum (fun r -> r.Kecss_obs.Causal.rp_runs))
+          (sum (fun r -> r.Kecss_obs.Causal.rp_critical_rounds))
+          (maxi (fun r -> r.Kecss_obs.Causal.rp_critical))
+      end
+    in
     let shared = trace_path <> None || trace_jsonl <> None || metrics_on in
     if shared || monitor_mode <> None || plan <> None
-       || Kecss_obs.Prof.enabled prof
+       || Kecss_obs.Prof.enabled prof || causal_on
     then begin
       if Kecss_obs.Trace.enabled trace || Kecss_obs.Metrics.enabled metrics
       then E.set_shared_sinks ~trace ~metrics;
@@ -704,6 +927,7 @@ let experiment ids list_only jobs faults trace_path trace_jsonl metrics_on
              per-experiment metrics, as the default factory gives them *)
           let metrics = if shared then metrics else Kecss_obs.Metrics.create () in
           Kecss_congest.Rounds.create ~trace ~metrics ~prof
+            ~causal:(fresh_causal ())
             ?hook:(injector_hook (fresh_injector ())) ())
     end;
     match
@@ -729,6 +953,7 @@ let experiment ids list_only jobs faults trace_path trace_jsonl metrics_on
         )
     | () ->
       report_fault_totals ();
+      report_causal_totals ();
       (* the trace-write handler brackets only the flush, mirroring `solve`:
          a Sys_error raised by the experiments themselves must not be
          reported as a trace-file problem *)
@@ -768,7 +993,8 @@ let experiment_cmd =
     Term.(
       ret
         (const experiment $ ids $ list_only $ jobs_arg $ faults_arg $ trace_arg
-       $ trace_jsonl_arg $ metrics_arg $ monitor_arg $ profile_arg))
+       $ trace_jsonl_arg $ metrics_arg $ monitor_arg $ profile_arg
+       $ causal_arg))
 
 (* ------------------------------------------------------------------ *)
 (* resilience                                                          *)
@@ -986,8 +1212,8 @@ let () =
     Cmd.group
       (Cmd.info "kecss" ~version:"1.0.0" ~doc)
       [
-        generate_cmd; solve_cmd; verify_cmd; audit_cmd; resilience_cmd;
-        experiment_cmd; info_cmd;
+        generate_cmd; solve_cmd; explain_cmd; verify_cmd; audit_cmd;
+        resilience_cmd; experiment_cmd; info_cmd;
       ]
   in
   exit (Cmd.eval main)

@@ -52,8 +52,8 @@ type 's program = {
     round:int -> int -> 's -> int array inbox -> send list * [ `Active | `Idle ];
 }
 
-let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
-    ?pool g p =
+let run_counted ?(metrics = Metrics.noop) ?(causal = Causal.noop)
+    ?(flight = Flight.noop) ?hook ?(lazy_poll = false) ?max_rounds ?pool g p =
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> (16 * n) + 10_000
@@ -86,9 +86,19 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
      (due pass, destination, edge, payload) *)
   let delayed = ref [] in
   let observe = Metrics.enabled metrics in
+  (* causal ids and parent sets mirror [inboxes] exactly; both are read
+     and written only in the sequential passes below, so the recorded
+     stream is independent of the pool size *)
+  let cobs = Causal.enabled causal in
+  let fobs = Flight.enabled flight in
+  let inbox_ids : int list array = if cobs then Array.make n [] else [||] in
+  let parent_ids : int list array = if cobs then Array.make n [] else [||] in
+  if cobs then Causal.run_begin causal;
+  if fobs then Flight.ensure flight n;
   if observe then Metrics.run_begin metrics;
   while (!in_flight > 0 || !active_count > 0) && !round < max_rounds do
     (match hook with Some h -> h.round_begin ~round:!round | None -> ());
+    if fobs then Flight.round_begin flight;
     (* step pass: consume inboxes, collect sends.  Under [lazy_poll] the
        caller guarantees that stepping an idle vertex with an empty inbox
        is a no-op returning ([], `Idle), so such calls are elided.
@@ -109,12 +119,17 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
         in
         if live then begin
           statuses.(v) <- 1;
-          incr eligible
+          incr eligible;
+          (* the messages delivered to [v] last pass are the parents of
+             everything it sends this pass *)
+          if cobs then parent_ids.(v) <- inbox_ids.(v)
         end
-        else
+        else begin
           (* crash-stop: the vertex neither steps nor sends, no longer
              wants rounds, and its delivered messages are lost *)
-          statuses.(v) <- 0
+          statuses.(v) <- 0;
+          if fobs then Flight.on_crash flight ~vertex:v
+        end
       end
       else statuses.(v) <- -1
     done;
@@ -131,11 +146,16 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
         step_vertex v
       done;
     for v = 0 to n - 1 do
-      if statuses.(v) >= 0 then set_active v (statuses.(v) = 2)
+      if statuses.(v) >= 0 then begin
+        let b = statuses.(v) = 2 in
+        if fobs && active.(v) <> b then Flight.on_active flight ~vertex:v ~active:b;
+        set_active v b
+      end
     done;
     (* all inboxes are consumed (skipped vertices had empty ones); reuse the
        array for next round's deliveries *)
     Array.fill inboxes 0 n [];
+    if cobs then Array.fill inbox_ids 0 n [];
     in_flight := 0;
     for v = 0 to n - 1 do
       match sent.(v) with
@@ -146,6 +166,11 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
         (* persisted eagerly so a run aborted by an engine exception
            cannot leave stale cells above the next run's stamps *)
         scratch.last <- !stamp;
+        (* every message [v] sends this round was enabled by the same
+           inbox, so its parent set is interned once *)
+        let group =
+          if cobs then Causal.group causal ~parents:parent_ids.(v) else 0
+        in
         List.iter
           (fun { edge; payload } ->
             let words = Array.length payload in
@@ -159,6 +184,18 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
                does with the copy: sends are counted before the hook rules *)
             if observe then Metrics.on_send metrics ~edge;
             incr messages;
+            let word = if words > 0 then payload.(0) else -1 in
+            if fobs then Flight.on_send flight ~vertex:v ~edge ~word;
+            let id =
+              if cobs then Causal.on_send causal ~src:v ~dst ~edge ~group
+              else -1
+            in
+            let deliver () =
+              inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
+              if cobs then inbox_ids.(dst) <- id :: inbox_ids.(dst);
+              if fobs then Flight.on_recv flight ~vertex:dst ~edge ~word;
+              incr in_flight
+            in
             let fate =
               match hook with
               | Some h -> h.fate ~round:!round ~src:v ~edge
@@ -166,28 +203,27 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
             in
             match fate with
             | Drop -> ()
-            | Deliver ->
-              inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
-              incr in_flight
+            | Deliver -> deliver ()
             | Replicate copies ->
               for _ = 1 to max 1 copies do
-                inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
-                incr in_flight
+                deliver ()
               done
-            | Postpone extra when extra <= 0 ->
-              inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
-              incr in_flight
+            | Postpone extra when extra <= 0 -> deliver ()
             | Postpone extra ->
-              delayed := (!round + 1 + extra, dst, edge, payload) :: !delayed)
+              delayed := (!round + 1 + extra, dst, edge, payload, id) :: !delayed)
           sends
     done;
     if !delayed <> [] then begin
       let due, future =
-        List.partition (fun (r, _, _, _) -> r <= !round + 1) !delayed
+        List.partition (fun (r, _, _, _, _) -> r <= !round + 1) !delayed
       in
       List.iter
-        (fun (_, dst, edge, payload) ->
+        (fun (_, dst, edge, payload, id) ->
           inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
+          if cobs then inbox_ids.(dst) <- id :: inbox_ids.(dst);
+          if fobs then
+            Flight.on_recv flight ~vertex:dst ~edge
+              ~word:(if Array.length payload > 0 then payload.(0) else -1);
           incr in_flight)
         due;
       delayed := future;
@@ -206,7 +242,8 @@ let run_counted ?(metrics = Metrics.noop) ?hook ?(lazy_poll = false) ?max_rounds
       (* an uncounted tail pass sends nothing, so summing the per-round
          message series over counted rounds yields the total count *)
       if observe then
-        Metrics.on_round metrics ~messages:!in_flight ~active:!active_count
+        Metrics.on_round metrics ~messages:!in_flight ~active:!active_count;
+      if cobs then Causal.on_round causal
     end
   done;
   if !in_flight > 0 || !active_count > 0 then begin

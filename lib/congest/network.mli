@@ -85,6 +85,8 @@ val run :
 
 val run_counted :
   ?metrics:Metrics.t ->
+  ?causal:Causal.t ->
+  ?flight:Flight.t ->
   ?hook:hook ->
   ?lazy_poll:bool ->
   ?max_rounds:int ->
@@ -100,6 +102,16 @@ val run_counted :
     sample per counted round (messages sent, vertices active), cumulative
     per-edge congestion, and the run's quiescence round. With the default
     [Metrics.noop] the instrumentation reduces to one boolean test.
+
+    When [?causal] is recording, every sent message is assigned an id and
+    the parent set of deliveries that enabled it ({!Kecss_obs.Causal}),
+    and every counted round is attributed to the recorder's current
+    phase; when [?flight] is recording, sends, deliveries, active/idle
+    flips and crash-stops land in its per-vertex rings
+    ({!Kecss_obs.Flight}). Both are written exclusively from the
+    sequential plan/delivery passes on the engine domain, so their
+    contents are byte-identical at every pool size; both default to noop
+    collectors costing one tag test per pass.
 
     [?lazy_poll] (default [false]) is a promise by the caller that
     stepping a vertex which reported [`Idle] and has an empty inbox is a

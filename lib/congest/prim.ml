@@ -1,5 +1,27 @@
 open Kecss_graph
 
+(* One engine run on behalf of a primitive: the ledger's sinks are
+   threaded into the engine, the run executes under a causal phase named
+   like the category it will be charged to (so causal round attribution
+   and the ledger breakdown share one naming scheme), and the counted
+   rounds/messages land on the ledger. *)
+let engine ledger ~category g program =
+  let causal = Rounds.causal ledger in
+  Kecss_obs.Causal.phase_begin causal category;
+  let states, rounds, messages =
+    Fun.protect
+      ~finally:(fun () -> Kecss_obs.Causal.phase_end causal)
+      (fun () ->
+        Network.run_counted
+          ~metrics:(Rounds.metrics ledger)
+          ~causal
+          ~flight:(Rounds.flight ledger)
+          ?hook:(Rounds.hook ledger) ~lazy_poll:true g program)
+  in
+  Rounds.charge ledger ~category rounds;
+  Rounds.charge_messages ledger ~category messages;
+  states
+
 (* ---------- BFS tree ---------- *)
 
 type bfs_state = { mutable parent_edge : int; mutable joined : bool }
@@ -33,9 +55,7 @@ let bfs_tree ledger g ~root =
           else ([], if st.joined then `Idle else `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true g program in
-  Rounds.charge ledger ~category:"bfs" rounds;
-  Rounds.charge_messages ledger ~category:"bfs" messages;
+  let states = engine ledger ~category:"bfs" g program in
   let pe = Array.map (fun st -> st.parent_edge) states in
   Rooted_tree.of_parent_edges g ~root pe
 
@@ -56,9 +76,7 @@ let exchange ledger g sends =
           end);
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true g program in
-  Rounds.charge ledger ~category:"exchange" rounds;
-  Rounds.charge_messages ledger ~category:"exchange" messages;
+  let states = engine ledger ~category:"exchange" g program in
   Array.map (fun st -> st.got) states
 
 (* ---------- convergecast wave ---------- *)
@@ -99,9 +117,7 @@ let wave_up ledger (f : Forest.t) ~value =
           else ([], if st.fired then `Idle else `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true f.Forest.graph program in
-  Rounds.charge ledger ~category:"wave_up" rounds;
-  Rounds.charge_messages ledger ~category:"wave_up" messages;
+  let states = engine ledger ~category:"wave_up" f.Forest.graph program in
   Array.map (fun st -> st.value) states
 
 (* ---------- broadcast wave ---------- *)
@@ -133,9 +149,7 @@ let wave_down ledger (f : Forest.t) ~root_value ~derive =
             | _ -> ([], if st.have then `Idle else `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true f.Forest.graph program in
-  Rounds.charge ledger ~category:"wave_down" rounds;
-  Rounds.charge_messages ledger ~category:"wave_down" messages;
+  let states = engine ledger ~category:"wave_down" f.Forest.graph program in
   Array.map (fun st -> st.value) states
 
 (* ---------- pipelined root-path dissemination ---------- *)
@@ -176,9 +190,7 @@ let down_pipeline ?(record = true) ledger (f : Forest.t) ~emit =
           end);
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true f.Forest.graph program in
-  Rounds.charge ledger ~category:"down_pipeline" rounds;
-  Rounds.charge_messages ledger ~category:"down_pipeline" messages;
+  let states = engine ledger ~category:"down_pipeline" f.Forest.graph program in
   Array.map
     (fun st ->
       List.rev_map
@@ -219,9 +231,7 @@ let edge_stream ledger g ~lengths =
           (sends, if more then `Active else `Idle));
     }
   in
-  let _, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true g program in
-  Rounds.charge ledger ~category:"edge_stream" rounds;
-  Rounds.charge_messages ledger ~category:"edge_stream" messages
+  ignore (engine ledger ~category:"edge_stream" g program)
 
 (* ---------- token walks towards the root ---------- *)
 
@@ -248,9 +258,7 @@ let walk_up ledger (f : Forest.t) ~sources =
           end);
     }
   in
-  let _, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true f.Forest.graph program in
-  Rounds.charge ledger ~category:"walk_up" rounds;
-  Rounds.charge_messages ledger ~category:"walk_up" messages
+  ignore (engine ledger ~category:"walk_up" f.Forest.graph program)
 
 (* ---------- pipelined sorted keyed aggregation ---------- *)
 
@@ -390,7 +398,5 @@ let up_pipeline_merge ledger (f : Forest.t) ~emit ~combine =
           else ([], `Active));
     }
   in
-  let states, rounds, messages = Network.run_counted ~metrics:(Rounds.metrics ledger) ?hook:(Rounds.hook ledger) ~lazy_poll:true f.Forest.graph program in
-  Rounds.charge ledger ~category:"up_pipeline" rounds;
-  Rounds.charge_messages ledger ~category:"up_pipeline" messages;
+  let states = engine ledger ~category:"up_pipeline" f.Forest.graph program in
   Array.map (fun st -> List.rev st.results) states

@@ -9,11 +9,13 @@ type t = {
   trace : Trace.t;
   metrics : Metrics.t;
   prof : Prof.t;
+  causal : Causal.t;
+  flight : Flight.t;
   hook : Network.hook option;
 }
 
 let create ?(trace = Trace.noop) ?(metrics = Metrics.noop) ?(prof = Prof.noop)
-    ?hook () =
+    ?(causal = Causal.noop) ?(flight = Flight.noop) ?hook () =
   {
     total = 0;
     total_messages = 0;
@@ -23,12 +25,16 @@ let create ?(trace = Trace.noop) ?(metrics = Metrics.noop) ?(prof = Prof.noop)
     trace;
     metrics;
     prof;
+    causal;
+    flight;
     hook;
   }
 
 let trace t = t.trace
 let metrics t = t.metrics
 let prof t = t.prof
+let causal t = t.causal
+let flight t = t.flight
 let hook t = t.hook
 let subscribe t f = Trace.subscribe t.trace f
 
@@ -61,6 +67,9 @@ let total_messages t = t.total_messages
 let scoped t name f =
   t.prefix <- name :: t.prefix;
   Trace.begin_span t.trace name;
+  (* the causal phase stack mirrors the category prefix, so engine rounds
+     are attributed under the same names the ledger charges them to *)
+  Causal.phase_begin t.causal name;
   let f =
     (* wall-clock profile each phase under its fully scoped path, so the
        profile report and the round breakdown use one naming scheme *)
@@ -71,6 +80,7 @@ let scoped t name f =
   in
   Fun.protect
     ~finally:(fun () ->
+      Causal.phase_end t.causal;
       Trace.end_span t.trace;
       t.prefix <- List.tl t.prefix)
     f

@@ -22,6 +22,8 @@ val create :
   ?trace:Trace.t ->
   ?metrics:Metrics.t ->
   ?prof:Prof.t ->
+  ?causal:Causal.t ->
+  ?flight:Flight.t ->
   ?hook:Network.hook ->
   unit ->
   t
@@ -38,6 +40,16 @@ val prof : t -> Prof.t
     every {!scoped} phase is also measured as a {!Kecss_obs.Prof.span}
     under its fully scoped path (e.g. ["tap/iteration"]) — wall time and
     GC deltas, kept entirely outside the logical round clock. *)
+
+val causal : t -> Causal.t
+(** The attached causal message recorder (or [Causal.noop]). {!scoped}
+    opens a causal phase under the same name as the category prefix and
+    the primitives add one per engine run, so the recorder's phase paths
+    coincide with the ledger's category names (e.g. ["mst/wave_up"]). *)
+
+val flight : t -> Flight.t
+(** The attached stall flight recorder (or [Flight.noop]), handed to
+    every engine run so a stalled solve can be dumped post mortem. *)
 
 val hook : t -> Network.hook option
 (** The attached engine interposition hook, if any. The primitives pass it

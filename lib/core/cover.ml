@@ -89,7 +89,10 @@ let commit st c =
 let max_level st = Level_index.max_level st.index
 let candidates_at st level = Level_index.candidates_at st.index level
 
-let solve ?max_iterations rng p strategy =
+let solve ?(trace = Kecss_obs.Trace.noop) ?max_iterations rng p strategy =
+  (* the framework is purely local, so the phase scope is the whole solve:
+     one span on the caller's trace, closed with the outcome *)
+  Kecss_obs.Trace.span trace "cover" @@ fun () ->
   let st = init p in
   let n = max 2 (max p.elements p.candidates) in
   let l = log2_ceil (n + 1) in
@@ -171,6 +174,13 @@ let solve ?max_iterations rng p strategy =
   let weight =
     Bitset.fold (fun c acc -> acc + p.weight c) st.chosen 0
   in
+  Kecss_obs.Trace.instant trace "cover outcome"
+    ~args:
+      [
+        ("iterations", Kecss_obs.Trace.Int !iterations);
+        ("weight", Kecss_obs.Trace.Int weight);
+        ("forced", Kecss_obs.Trace.Int !forced);
+      ];
   {
     chosen = st.chosen;
     iterations = !iterations;

@@ -43,9 +43,18 @@ type result = {
   forced : int;          (** fallback greedy additions (0 w.h.p.) *)
 }
 
-val solve : ?max_iterations:int -> Rng.t -> problem -> strategy -> result
+val solve :
+  ?trace:Kecss_obs.Trace.t ->
+  ?max_iterations:int ->
+  Rng.t ->
+  problem ->
+  strategy ->
+  result
 (** Covers every element; raises [Invalid_argument] if some element has no
-    covering candidate. *)
+    covering candidate. [?trace] opens a ["cover"] phase span on the
+    caller's trace for the whole solve and closes it with a
+    ["cover outcome"] instant (iterations, weight, forced greedy steps);
+    the default is no tracing. *)
 
 val greedy : problem -> Bitset.t
 (** The classical sequential greedy (one best candidate per step) — the

@@ -101,7 +101,11 @@ let ms ns = ns /. 1e6
 let kwords w = w /. 1e3
 
 let prof_table ppf p =
-  match Prof.stats p with
+  (* a declared-but-never-hit span has nothing to report: skip it rather
+     than render a row of zeros that reads as measured data *)
+  match
+    List.filter (fun (s : Prof.stat) -> Prof.Hist.count s.hist > 0) (Prof.stats p)
+  with
   | [] -> ()
   | stats ->
     table ppf ~title:"wall-clock profile (ms; GC in kwords)"
@@ -178,6 +182,170 @@ let pool_to_json ~jobs ~lifetime_ns stats =
                  ])
              (Array.to_list stats)) );
     ]
+
+(* ----- causal reports ----- *)
+
+(* [--phase NAME] keeps a phase and its sub-phases *)
+let phase_matches filter name =
+  match filter with
+  | None -> true
+  | Some p ->
+    String.equal name p
+    || (String.length name > String.length p
+       && String.sub name 0 (String.length p + 1) = p ^ "/")
+
+(* join the ledger's charged per-category breakdown with the causal
+   recorder's engine-round attribution: rows are the union of names, so
+   the rounds column still sums to the ledger total while synthetic
+   charges (categories with no engine run behind them) show up with no
+   causal data rather than vanishing *)
+let causal_phase_rows ?phase ~rounds_by_category ~messages_by_category
+    (r : Causal.report) =
+  let names = Hashtbl.create 16 in
+  List.iter (fun (c, _) -> Hashtbl.replace names c ()) rounds_by_category;
+  List.iter (fun (c, _) -> Hashtbl.replace names c ()) messages_by_category;
+  List.iter
+    (fun (row : Causal.phase_row) -> Hashtbl.replace names row.ph_name ())
+    r.Causal.rp_phases;
+  let get assoc name = Option.value ~default:0 (List.assoc_opt name assoc) in
+  let causal_row name =
+    List.find_opt
+      (fun (row : Causal.phase_row) -> String.equal row.ph_name name)
+      r.Causal.rp_phases
+  in
+  Hashtbl.fold (fun name () acc -> name :: acc) names []
+  |> List.filter (phase_matches phase)
+  |> List.sort String.compare
+  |> List.map (fun name ->
+         let engine, crit =
+           match causal_row name with
+           | Some row -> (row.Causal.ph_rounds, row.Causal.ph_crit)
+           | None -> (0, 0)
+         in
+         ( name,
+           get rounds_by_category name,
+           get messages_by_category name,
+           engine,
+           crit ))
+
+let causal_tables ppf ?top ?phase ~total_rounds ~total_messages
+    ~rounds_by_category ~messages_by_category (r : Causal.report) =
+  let top = match top with Some t -> max 1 t | None -> 10 in
+  table ppf ~title:"causal summary" ~columns:[ "metric"; "value" ]
+    [
+      [ S "total rounds (ledger)"; I total_rounds ];
+      [ S "total messages (ledger)"; I total_messages ];
+      [ S "engine rounds traced"; I r.Causal.rp_rounds ];
+      [ S "engine messages traced"; I r.Causal.rp_messages ];
+      [ S "engine runs"; I r.Causal.rp_runs ];
+      [ S "longest dependency chain"; I r.Causal.rp_critical ];
+      [ S "critical rounds (sum/run)"; I r.Causal.rp_critical_rounds ];
+      [ S "zero-slack senders"; I r.Causal.rp_zero_slack ];
+    ];
+  Format.fprintf ppf "@,";
+  table ppf ~title:"per-phase round attribution"
+    ~columns:[ "phase"; "rounds"; "messages"; "engine"; "crit hops" ]
+    (List.map
+       (fun (name, rounds, messages, engine, crit) ->
+         [ S name; I rounds; I messages; I engine; I crit ])
+       (causal_phase_rows ?phase ~rounds_by_category ~messages_by_category r));
+  (match r.Causal.rp_chains with
+  | [] -> ()
+  | chains ->
+    Format.fprintf ppf "@,";
+    table ppf ~title:"longest dependency chains"
+      ~columns:[ "len"; "vertex"; "edge"; "rounds"; "phase" ]
+      (List.filter
+         (fun (c : Causal.chain) -> phase_matches phase c.Causal.ch_phase)
+         chains
+      |> List.filteri (fun i _ -> i < top)
+      |> List.map (fun (c : Causal.chain) ->
+             [
+               I c.Causal.ch_len;
+               I c.Causal.ch_vertex;
+               I c.Causal.ch_edge;
+               S (Printf.sprintf "%d..%d" c.Causal.ch_first c.Causal.ch_last);
+               S c.Causal.ch_phase;
+             ])));
+  match r.Causal.rp_slack with
+  | [] -> ()
+  | slack ->
+    Format.fprintf ppf "@,";
+    table ppf ~title:"tightest senders (slack)"
+      ~columns:[ "vertex"; "slack"; "messages" ]
+      (List.filteri (fun i _ -> i < top) slack
+      |> List.map (fun (s : Causal.slack_row) ->
+             [ I s.Causal.sl_vertex; I s.Causal.sl_slack; I s.Causal.sl_messages ]))
+
+let causal_to_json ?top ?phase ?(extra = []) ~total_rounds ~total_messages
+    ~rounds_by_category ~messages_by_category (r : Causal.report) =
+  let top = match top with Some t -> max 1 t | None -> 10 in
+  Json.Obj
+    (("schema", Json.Str "kecss-causal/1")
+     :: extra
+    @ [
+        ("total_rounds", Json.Int total_rounds);
+        ("total_messages", Json.Int total_messages);
+        ( "engine",
+          Json.Obj
+            [
+              ("rounds", Json.Int r.Causal.rp_rounds);
+              ("messages", Json.Int r.Causal.rp_messages);
+              ("runs", Json.Int r.Causal.rp_runs);
+            ] );
+        ( "critical",
+          Json.Obj
+            [
+              ("longest_chain", Json.Int r.Causal.rp_critical);
+              ("critical_rounds", Json.Int r.Causal.rp_critical_rounds);
+            ] );
+        ( "phases",
+          Json.List
+            (List.map
+               (fun (name, rounds, messages, engine, crit) ->
+                 Json.Obj
+                   [
+                     ("phase", Json.Str name);
+                     ("rounds", Json.Int rounds);
+                     ("messages", Json.Int messages);
+                     ("engine_rounds", Json.Int engine);
+                     ("critical_hops", Json.Int crit);
+                   ])
+               (causal_phase_rows ?phase ~rounds_by_category
+                  ~messages_by_category r)) );
+        ( "chains",
+          Json.List
+            (List.filter
+               (fun (c : Causal.chain) ->
+                 phase_matches phase c.Causal.ch_phase)
+               r.Causal.rp_chains
+            |> List.filteri (fun i _ -> i < top)
+            |> List.map (fun (c : Causal.chain) ->
+                   Json.Obj
+                     [
+                       ("length", Json.Int c.Causal.ch_len);
+                       ("vertex", Json.Int c.Causal.ch_vertex);
+                       ("edge", Json.Int c.Causal.ch_edge);
+                       ("first_round", Json.Int c.Causal.ch_first);
+                       ("last_round", Json.Int c.Causal.ch_last);
+                       ("phase", Json.Str c.Causal.ch_phase);
+                     ])) );
+        ( "slack",
+          Json.Obj
+            [
+              ("zero_slack_senders", Json.Int r.Causal.rp_zero_slack);
+              ( "tightest",
+                Json.List
+                  (List.filteri (fun i _ -> i < top) r.Causal.rp_slack
+                  |> List.map (fun (s : Causal.slack_row) ->
+                         Json.Obj
+                           [
+                             ("vertex", Json.Int s.Causal.sl_vertex);
+                             ("slack", Json.Int s.Causal.sl_slack);
+                             ("messages", Json.Int s.Causal.sl_messages);
+                           ])) );
+            ] );
+      ])
 
 let metrics_table ppf m =
   let s = Metrics.summary m in

@@ -43,7 +43,8 @@ val metrics_table : Format.formatter -> Metrics.t -> unit
 
 val prof_table : Format.formatter -> Prof.t -> unit
 (** Per-span profile as an aligned table (times in ms, GC in kwords).
-    Prints nothing when no spans were recorded. *)
+    Prints nothing when no spans were recorded; spans declared but never
+    hit (empty histograms) are skipped. *)
 
 val prof_jsonl : Prof.t -> string
 (** One JSON object per span, newline-delimited, in name order. *)
@@ -61,3 +62,53 @@ val pool_to_json :
   jobs:int -> lifetime_ns:float -> (float * int) array -> Json.t
 (** The same utilization data as a JSON object (the [profile.pool]
     section of [bench-metrics.json]). *)
+
+(** {1 Causal reports}
+
+    Renderers for {!Causal.analyze} output. The ledger's per-category
+    breakdown is passed as plain assoc lists so this library does not
+    depend on the round ledger; phase names and ledger categories share
+    one naming scheme, so the joined table's rounds column sums to the
+    ledger total while synthetic charges (categories with no engine run
+    behind them) show up with zero causal data. *)
+
+val causal_phase_rows :
+  ?phase:string ->
+  rounds_by_category:(string * int) list ->
+  messages_by_category:(string * int) list ->
+  Causal.report ->
+  (string * int * int * int * int) list
+(** The joined per-phase table rows
+    [(phase, ledger rounds, ledger messages, engine rounds, crit hops)],
+    sorted by phase name — the union of ledger categories and causal
+    phases, so the rounds column sums to the ledger total. [?phase] keeps
+    only the named phase and its sub-phases. *)
+
+val causal_tables :
+  Format.formatter ->
+  ?top:int ->
+  ?phase:string ->
+  total_rounds:int ->
+  total_messages:int ->
+  rounds_by_category:(string * int) list ->
+  messages_by_category:(string * int) list ->
+  Causal.report ->
+  unit
+(** Summary, per-phase attribution, longest chains and tightest-sender
+    tables. [?top] (default 10) bounds the chain and slack tables;
+    [?phase] keeps only the named phase and its sub-phases. *)
+
+val causal_to_json :
+  ?top:int ->
+  ?phase:string ->
+  ?extra:(string * Json.t) list ->
+  total_rounds:int ->
+  total_messages:int ->
+  rounds_by_category:(string * int) list ->
+  messages_by_category:(string * int) list ->
+  Causal.report ->
+  Json.t
+(** The [kecss-causal/1] document. [?extra] fields (run identification:
+    algo, graph, seed, jobs) are spliced in right after the schema tag;
+    [?top]/[?phase] filter exactly like {!causal_tables}, so the table
+    and the JSON always agree. *)

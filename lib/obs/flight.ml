@@ -1,0 +1,179 @@
+(* Stall flight recorder.
+
+   A bounded per-vertex ring buffer of the engine's externally visible
+   actions — sends, deliveries, active/idle flips, crash-stops — kept
+   cheap enough to leave on for any run that might stall (fault plans,
+   strict monitoring).  When a run ends in [Did_not_quiesce]/[Stalled]
+   the rings hold each vertex's recent history, which is exactly what a
+   one-line "stalled after N rounds" error is missing.
+
+   Rings are written only from the engine's sequential passes, on a
+   global pass clock that spans every engine run of a solve, so a dump is
+   byte-identical at any pool size.  Each vertex keeps its last
+   [capacity] entries; a dump additionally drops entries more than
+   [window] rounds older than that vertex's latest entry, so the artifact
+   reads as "the last R rounds in which the vertex did anything". *)
+
+(* entry kinds, also the JSON tags *)
+let kind_send = 0
+let kind_recv = 1
+let kind_active = 2
+let kind_idle = 3
+let kind_crash = 4
+
+let kind_name = function
+  | 0 -> "send"
+  | 1 -> "recv"
+  | 2 -> "active"
+  | 3 -> "idle"
+  | _ -> "crash"
+
+let ints_per_entry = 3 (* round; kind/edge packed into one tag; payload word *)
+
+type recording = {
+  window : int;
+  capacity : int;
+  mutable passes : int; (* global engine pass clock across runs *)
+  mutable rings : int array array; (* per vertex, capacity * 3 ints *)
+  mutable fill : int array; (* entries ever written per vertex *)
+  mutable n : int;
+}
+
+type t = Noop | Recording of recording
+
+let noop = Noop
+
+let create ?(window = 32) ?(capacity = 48) () =
+  if window < 1 then invalid_arg "Flight.create: window < 1";
+  if capacity < 1 then invalid_arg "Flight.create: capacity < 1";
+  Recording
+    { window; capacity; passes = 0; rings = [||]; fill = [||]; n = 0 }
+
+let enabled = function Noop -> false | Recording _ -> true
+
+let ensure t n =
+  match t with
+  | Noop -> ()
+  | Recording r ->
+    if n > r.n then begin
+      let rings = Array.make n [||] in
+      Array.blit r.rings 0 rings 0 r.n;
+      for v = r.n to n - 1 do
+        rings.(v) <- Array.make (r.capacity * ints_per_entry) 0
+      done;
+      let fill = Array.make n 0 in
+      Array.blit r.fill 0 fill 0 r.n;
+      r.rings <- rings;
+      r.fill <- fill;
+      r.n <- n
+    end
+
+let round_begin t =
+  match t with Noop -> () | Recording r -> r.passes <- r.passes + 1
+
+let passes t = match t with Noop -> 0 | Recording r -> r.passes
+
+(* the pass currently executing (round_begin has already ticked) *)
+let now r = r.passes - 1
+
+let push r v kind edge word =
+  let ring = r.rings.(v) in
+  let slot = r.fill.(v) mod r.capacity * ints_per_entry in
+  ring.(slot) <- now r;
+  (* edge ids and kinds are small non-negative ints; -1 marks "no edge" *)
+  ring.(slot + 1) <- (kind * 0x4000_0000) + edge + 1;
+  ring.(slot + 2) <- word;
+  r.fill.(v) <- r.fill.(v) + 1
+
+let on_send t ~vertex ~edge ~word =
+  match t with
+  | Noop -> ()
+  | Recording r -> push r vertex kind_send edge word
+
+let on_recv t ~vertex ~edge ~word =
+  match t with
+  | Noop -> ()
+  | Recording r -> push r vertex kind_recv edge word
+
+let on_active t ~vertex ~active =
+  match t with
+  | Noop -> ()
+  | Recording r ->
+    push r vertex (if active then kind_active else kind_idle) (-1) 0
+
+let on_crash t ~vertex =
+  match t with Noop -> () | Recording r -> push r vertex kind_crash (-1) 0
+
+type stall = { st_rounds : int; st_active : int; st_in_flight : int }
+
+let to_json ?stall ~reason t =
+  match t with
+  | Noop -> Json.Null
+  | Recording r ->
+    let vertex_json v =
+      let total = r.fill.(v) in
+      if total = 0 then None
+      else begin
+        let kept = min total r.capacity in
+        let ring = r.rings.(v) in
+        let entry i =
+          (* i-th oldest retained entry *)
+          let slot = (total - kept + i) mod r.capacity * ints_per_entry in
+          let tag = ring.(slot + 1) in
+          ( ring.(slot),
+            tag / 0x4000_0000,
+            (tag mod 0x4000_0000) - 1,
+            ring.(slot + 2) )
+        in
+        let last_round =
+          let rd, _, _, _ = entry (kept - 1) in
+          rd
+        in
+        let entries = ref [] in
+        for i = kept - 1 downto 0 do
+          let round, kind, edge, word = entry i in
+          if round > last_round - r.window then
+            entries :=
+              Json.Obj
+                [
+                  ("round", Json.Int round);
+                  ("kind", Json.Str (kind_name kind));
+                  ("edge", Json.Int edge);
+                  ("word", Json.Int word);
+                ]
+              :: !entries
+        done;
+        Some
+          (Json.Obj
+             [
+               ("vertex", Json.Int v);
+               ("recorded", Json.Int total);
+               ("entries", Json.List !entries);
+             ])
+      end
+    in
+    let vertices = ref [] in
+    for v = r.n - 1 downto 0 do
+      match vertex_json v with
+      | Some j -> vertices := j :: !vertices
+      | None -> ()
+    done;
+    Json.Obj
+      [
+        ("schema", Json.Str "kecss-flight/1");
+        ("reason", Json.Str reason);
+        ("engine_passes", Json.Int r.passes);
+        ("window", Json.Int r.window);
+        ("capacity", Json.Int r.capacity);
+        ( "stall",
+          match stall with
+          | None -> Json.Null
+          | Some s ->
+            Json.Obj
+              [
+                ("rounds", Json.Int s.st_rounds);
+                ("active", Json.Int s.st_active);
+                ("in_flight", Json.Int s.st_in_flight);
+              ] );
+        ("vertices", Json.List !vertices);
+      ]

@@ -1,0 +1,54 @@
+(** Stall flight recorder: a bounded per-vertex ring of the engine's
+    externally visible actions (sends, deliveries, active/idle flips,
+    crash-stops) on a global pass clock spanning every engine run of a
+    solve.  Cheap enough to leave on whenever a run might stall; when it
+    does ([Did_not_quiesce] / a fault-plan [Stalled] outcome, or a strict
+    monitor violation), {!to_json} turns the rings into a debuggable
+    [kecss-flight/1] artifact instead of a one-line error.
+
+    Recording happens only on the engine's sequential passes, so a dump
+    is byte-identical at any [--jobs]. *)
+
+type t
+
+val noop : t
+
+val create : ?window:int -> ?capacity:int -> unit -> t
+(** A recording ring set. Each vertex keeps its last [capacity] entries
+    (default 48); a dump further drops entries more than [window]
+    (default 32) rounds older than that vertex's latest entry.
+    @raise Invalid_argument when either bound is below 1. *)
+
+val enabled : t -> bool
+
+(** {1 Engine-facing recording} *)
+
+val ensure : t -> int -> unit
+(** [ensure t n] grows the per-vertex rings to cover vertices [0..n-1].
+    Called by the engine at the start of each run; existing history is
+    preserved. *)
+
+val round_begin : t -> unit
+(** Ticks the global pass clock — once per engine pass, across runs, so
+    {!passes} matches the fault layer's global round clock. *)
+
+val passes : t -> int
+(** Engine passes seen so far. After a stalled run this equals the
+    [rounds] field of the [Did_not_quiesce]/[Stalled] payload. *)
+
+val on_send : t -> vertex:int -> edge:int -> word:int -> unit
+val on_recv : t -> vertex:int -> edge:int -> word:int -> unit
+val on_active : t -> vertex:int -> active:bool -> unit
+val on_crash : t -> vertex:int -> unit
+
+(** {1 Dump} *)
+
+type stall = { st_rounds : int; st_active : int; st_in_flight : int }
+(** The structured stall outcome, embedded in the dump so the artifact is
+    self-describing. *)
+
+val to_json : ?stall:stall -> reason:string -> t -> Json.t
+(** The [kecss-flight/1] dump: pass clock, ring parameters, the optional
+    stall record and, per vertex with any history, its retained entries
+    in chronological order (plus how many were ever recorded, so
+    truncation is visible). [Json.Null] for {!noop}. *)
