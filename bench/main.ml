@@ -335,6 +335,238 @@ let run_resilience_table () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* serve tier: incremental maintenance vs from-scratch + wire latency  *)
+(* ------------------------------------------------------------------ *)
+
+module Maint = Kecss_serve.Maint
+module Server = Kecss_serve.Server
+
+type serve_session = {
+  ss_jobs : int;
+  ss_requests : int;
+  ss_req_per_s : float;
+  ss_ns_per_req : float;
+  ss_latency : (string * Kecss_obs.Prof.Hist.t) list;
+  ss_transcript : string;
+}
+
+type serve_run = {
+  sv_n : int;
+  sv_updates : int;
+  sv_verified : int; (* gated updates whose post-state verified k-conn. *)
+  sv_degraded : int; (* updates that left the live graph itself below k *)
+  sv_incr_ns : float; (* mean incremental cascade cost per update *)
+  sv_scratch_ns : float; (* mean from-scratch rebuild cost *)
+  sv_ratio : float; (* incr/scratch: < 1 means incremental wins *)
+  sv_sessions : serve_session list;
+}
+
+(* deterministic request script: delete/insert waves over distinct edges
+   (every update succeeds), with periodic verify/stats and a final audit *)
+let serve_script ~updates =
+  let buf = Buffer.create 4096 in
+  let req line = Buffer.add_string buf (Kecss_obs.Json.Frame.encode_string line) in
+  for i = 0 to updates - 1 do
+    let e = i mod 64 in
+    let op = if i mod 128 < 64 then "delete" else "insert" in
+    req (Printf.sprintf {|{"req":"update","op":"%s","edge":%d}|} op e);
+    if i mod 8 = 7 then req {|{"req":"verify"}|};
+    if i mod 16 = 15 then req {|{"req":"stats"}|}
+  done;
+  req {|{"req":"audit"}|};
+  req {|{"req":"shutdown"}|};
+  Buffer.contents buf
+
+let serve_session ~g ~k ~jobs script =
+  let saved = Kecss_par.Pool.default_jobs () in
+  Kecss_par.Pool.set_default_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Kecss_par.Pool.set_default_jobs saved)
+    (fun () ->
+      let srv = Server.create ~seed:1 g ~k in
+      let out = Buffer.create (String.length script) in
+      let pos = ref 0 in
+      let read buf off len =
+        let n = min len (String.length script - !pos) in
+        Bytes.blit_string script !pos buf off n;
+        pos := !pos + n;
+        n
+      in
+      let requests =
+        (* every script line is one frame: count the frames sent *)
+        List.length
+          (String.split_on_char '\n' script)
+        / 2
+      in
+      let t0 = Kecss_obs.Prof.now_ns () in
+      Server.run_session srv ~read ~write:(Buffer.add_string out);
+      let elapsed = Kecss_obs.Prof.now_ns () -. t0 in
+      {
+        ss_jobs = jobs;
+        ss_requests = requests;
+        ss_req_per_s = float_of_int requests /. (elapsed /. 1e9);
+        ss_ns_per_req = elapsed /. float_of_int requests;
+        ss_latency = Server.latencies srv;
+        ss_transcript = Buffer.contents out;
+      })
+
+let run_serve_tier ~jobs =
+  (* acceptance scale: n >= 1024, >= 100 updates, every post-update
+     solution gated through Verify.check_kecss *)
+  let n = 1024 and k = 2 and updates = 128 in
+  let g = W.weighted_random ~n ~k in
+  let m = Graph.m g in
+  (* 1. gated churn: correctness of the resident solution under churn *)
+  let t = Maint.create g ~k in
+  let rng = Rng.create ~seed:71 in
+  let verified = ref 0 and degraded = ref 0 in
+  for step = 1 to updates do
+    let e = Rng.int rng m in
+    let r =
+      if Bitset.mem (Maint.live t) e then Maint.delete t e
+      else Maint.insert t e
+    in
+    match r with
+    | Error msg -> failwith (Printf.sprintf "serve tier step %d: %s" step msg)
+    | Ok None -> failwith "gated update returned no outcome"
+    | Ok (Some o) ->
+      if o.Maint.degraded then incr degraded
+      else if o.Maint.report.Kecss_connectivity.Verify.ok then incr verified
+      else
+        failwith
+          (Printf.sprintf
+             "serve tier step %d: solution failed verification on a \
+              k-connected live graph"
+             step)
+  done;
+  (* 2. incremental cascade priced against the from-scratch rebuild,
+     both without the verification gate *)
+  let t2 = Maint.create g ~k in
+  let rng2 = Rng.create ~seed:71 in
+  let incr_total = ref 0.0 in
+  for _ = 1 to updates do
+    let e = Rng.int rng2 m in
+    let del = Bitset.mem (Maint.live t2) e in
+    let t0 = Kecss_obs.Prof.now_ns () in
+    (match
+       if del then Maint.delete ~gate_check:false t2 e
+       else Maint.insert ~gate_check:false t2 e
+     with
+    | Ok _ -> ()
+    | Error msg -> failwith msg);
+    incr_total := !incr_total +. (Kecss_obs.Prof.now_ns () -. t0)
+  done;
+  let incr_ns = !incr_total /. float_of_int updates in
+  let rebuilds = 10 in
+  let t0 = Kecss_obs.Prof.now_ns () in
+  for _ = 1 to rebuilds do
+    Maint.force_rebuild t2
+  done;
+  let scratch_ns =
+    (Kecss_obs.Prof.now_ns () -. t0) /. float_of_int rebuilds
+  in
+  (* 3. wire-protocol sessions at jobs 1 and N; a smaller instance so
+     the per-request verification gate doesn't dominate the tier's
+     wall-clock (the acceptance-scale churn above already ran at n) *)
+  let gs = W.weighted_random ~n:256 ~k in
+  let script = serve_script ~updates:192 in
+  let sessions =
+    List.map
+      (fun j -> serve_session ~g:gs ~k ~jobs:j script)
+      (List.sort_uniq compare [ 1; jobs ])
+  in
+  (match sessions with
+  | a :: (_ :: _ as rest) ->
+    List.iter
+      (fun b ->
+        if a.ss_transcript <> b.ss_transcript then
+          failwith
+            (Printf.sprintf
+               "serve transcripts differ between jobs %d and %d" a.ss_jobs
+               b.ss_jobs))
+      rest
+  | _ -> ());
+  {
+    sv_n = n;
+    sv_updates = updates;
+    sv_verified = !verified;
+    sv_degraded = !degraded;
+    sv_incr_ns = incr_ns;
+    sv_scratch_ns = scratch_ns;
+    sv_ratio = (if scratch_ns > 0.0 then incr_ns /. scratch_ns else Float.nan);
+    sv_sessions = sessions;
+  }
+
+let print_serve_tier sv =
+  let module Obs = Kecss_obs in
+  Printf.printf
+    "\nserve tier: n=%d, %d gated updates (%d verified, %d degraded)\n"
+    sv.sv_n sv.sv_updates sv.sv_verified sv.sv_degraded;
+  Printf.printf
+    "  incremental update %s vs from-scratch rebuild %s  (ratio %.4f, %.0fx \
+     speedup)\n"
+    (History.pretty_ns sv.sv_incr_ns)
+    (History.pretty_ns sv.sv_scratch_ns)
+    sv.sv_ratio
+    (if sv.sv_ratio > 0.0 then 1.0 /. sv.sv_ratio else Float.nan);
+  List.iter
+    (fun s ->
+      Printf.printf "  session @ jobs=%d: %d requests, %.0f req/s\n" s.ss_jobs
+        s.ss_requests s.ss_req_per_s;
+      Obs.Export.latency_table Format.std_formatter
+        ~title:(Printf.sprintf "request latency @ jobs=%d" s.ss_jobs)
+        s.ss_latency;
+      Format.pp_print_flush Format.std_formatter ())
+    sv.sv_sessions;
+  flush stdout
+
+let serve_json sv =
+  let module Obs = Kecss_obs in
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int sv.sv_n);
+      ("updates", Obs.Json.Int sv.sv_updates);
+      ("verified", Obs.Json.Int sv.sv_verified);
+      ("degraded", Obs.Json.Int sv.sv_degraded);
+      ("incremental_ns", Obs.Json.Float sv.sv_incr_ns);
+      ("from_scratch_ns", Obs.Json.Float sv.sv_scratch_ns);
+      ("incr_over_scratch", Obs.Json.Float sv.sv_ratio);
+      ( "sessions",
+        Obs.Json.List
+          (List.map
+             (fun s ->
+               Obs.Json.Obj
+                 [
+                   ("jobs", Obs.Json.Int s.ss_jobs);
+                   ("requests", Obs.Json.Int s.ss_requests);
+                   ("req_per_s", Obs.Json.Float s.ss_req_per_s);
+                   ( "latency",
+                     Obs.Json.Obj
+                       (List.filter_map
+                          (fun (kind, h) ->
+                            if Obs.Prof.Hist.count h > 0 then
+                              Some (kind, Obs.Prof.Hist.to_json h)
+                            else None)
+                          s.ss_latency) );
+                 ])
+             sv.sv_sessions) );
+    ]
+
+(* wall-clock rows for the history: ns-like floats where growth is bad,
+   so History.compare's REGRESSION judgement applies directly (the
+   ratio row guards the incremental-vs-scratch speedup itself) *)
+let serve_history_rows sv =
+  [
+    ("serve/update-incremental", sv.sv_incr_ns);
+    ("serve/rebuild-from-scratch", sv.sv_scratch_ns);
+    ("serve/incr-over-scratch-ratio", sv.sv_ratio);
+  ]
+  @ List.map
+      (fun s ->
+        (Printf.sprintf "serve/session-ns-per-req@%d" s.ss_jobs, s.ss_ns_per_req))
+      sv.sv_sessions
+
+(* ------------------------------------------------------------------ *)
 (* metrics JSON                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -435,7 +667,7 @@ let profile_json ~jobs ~pool_stats:(pairs, lifetime_ns) prof =
   in
   Obs.Json.Obj (("pool", pool_json) :: spans)
 
-let write_metrics_json ~jobs ~profile runs path =
+let write_metrics_json ?serve ~jobs ~profile runs path =
   let module Obs = Kecss_obs in
   let categories kvs =
     Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs)
@@ -465,12 +697,16 @@ let write_metrics_json ~jobs ~profile runs path =
   in
   let doc =
     Obs.Json.Obj
-      [
-        ("schema", Obs.Json.Str "kecss-bench-metrics/1");
-        ("jobs", Obs.Json.Int jobs);
-        ("profile", profile);
-        ("solves", Obs.Json.Obj solves);
-      ]
+      ([
+         ("schema", Obs.Json.Str "kecss-bench-metrics/1");
+         ("jobs", Obs.Json.Int jobs);
+         ("profile", profile);
+         ("solves", Obs.Json.Obj solves);
+       ]
+      @
+      match serve with
+      | None -> []
+      | Some sv -> [ ("serve", serve_json sv) ])
   in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
@@ -478,11 +714,15 @@ let write_metrics_json ~jobs ~profile runs path =
   close_out oc;
   Printf.printf "telemetry for representative solves -> %s\n" path
 
-let history_entry ~rev ~jobs ~profile micro_rows runs =
+let history_entry ?serve ~rev ~jobs ~profile micro_rows runs =
   {
     History.rev;
     jobs;
-    tests = List.filter (fun (_, ns) -> not (Float.is_nan ns)) micro_rows;
+    tests =
+      List.filter
+        (fun (_, ns) -> not (Float.is_nan ns))
+        (micro_rows
+        @ match serve with None -> [] | Some sv -> serve_history_rows sv);
     experiments =
       List.map
         (fun rr ->
@@ -609,6 +849,14 @@ let () =
     List.iter (fun e -> ignore (E.run_and_print e)) targets;
     run_resilience_table ()
   end;
+  let serve =
+    if o.micro_only then None
+    else begin
+      let sv = run_serve_tier ~jobs in
+      print_serve_tier sv;
+      Some sv
+    end
+  in
   let micro_rows =
     if (not o.no_micro) || o.micro_only then run_micro ?filter:o.micro_filter ()
     else []
@@ -627,10 +875,10 @@ let () =
     (* flush: write_metrics_json prints via Printf, a different buffer *)
     Format.pp_print_newline Format.std_formatter ()
   end;
-  write_metrics_json ~jobs ~profile runs
+  write_metrics_json ?serve ~jobs ~profile runs
     (Option.value o.mpath ~default:"bench-metrics.json");
   let rev = Option.value o.rev ~default:(History.default_rev ()) in
-  let entry = history_entry ~rev ~jobs ~profile micro_rows runs in
+  let entry = history_entry ?serve ~rev ~jobs ~profile micro_rows runs in
   (* --quick runs are the CI-tracked configuration, so they always append
      to the history; otherwise history is opt-in via --history-out *)
   (match

@@ -876,6 +876,7 @@ let experiment ids list_only jobs faults trace_path trace_jsonl metrics_on
                 duplicated = acc.duplicated + s.duplicated;
                 crashed = acc.crashed + s.crashed;
                 cut = acc.cut + s.cut;
+                restored = acc.restored + s.restored;
               })
             no_faults injs
         in
@@ -1205,6 +1206,100 @@ let info_cmd =
     Term.(ret (const info_run $ graph_arg))
 
 (* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Kecss_serve.Server
+
+let socket_arg =
+  let doc =
+    "Listen/connect address: unix:PATH (or a bare path) or tcp:HOST:PORT."
+  in
+  Arg.(value & opt string "unix:kecss.sock" & info [ "socket" ] ~docv:"ADDR" ~doc)
+
+let serve_run graph_path k seed jobs stdio socket quiet =
+  match apply_jobs jobs with
+  | Error m -> `Error (false, m)
+  | Ok () -> (
+    let g = read_graph graph_path in
+    let srv = Server.create ~seed g ~k in
+    let log s = if not quiet then Printf.eprintf "kecss serve: %s\n%!" s in
+    let finish () =
+      if not quiet then begin
+        let ppf = Format.err_formatter in
+        Kecss_obs.Export.latency_table ppf ~title:"request latency"
+          (Server.latencies srv);
+        Format.pp_print_flush ppf ()
+      end
+    in
+    if stdio then begin
+      Server.run_stdio srv;
+      finish ();
+      `Ok ()
+    end
+    else
+      match Server.address_of_string socket with
+      | Error m -> `Error (false, m)
+      | Ok addr ->
+        Server.listen ~log srv addr;
+        finish ();
+        `Ok ())
+
+let serve_cmd =
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve a single session over stdin/stdout instead of a socket.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress stderr logging.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident solver service: load a graph, build the \
+          canonical sparse certificate, and answer solve / verify / \
+          resilience / audit / stats / update / churn requests over a \
+          length-prefixed JSON protocol, maintaining the solution \
+          incrementally under edge churn.")
+    Term.(
+      ret
+        (const serve_run $ graph_arg $ k_arg $ seed_arg $ jobs_arg $ stdio
+       $ socket_arg $ quiet))
+
+let client_run socket script =
+  match Server.address_of_string socket with
+  | Error m -> `Error (false, m)
+  | Ok addr -> (
+    let input, closer =
+      match script with
+      | "-" -> (stdin, fun () -> ())
+      | path ->
+        let ic = open_in path in
+        (ic, fun () -> close_in ic)
+    in
+    let r =
+      Fun.protect ~finally:closer (fun () ->
+          Server.client ~input ~output:stdout addr)
+    in
+    match r with Ok () -> `Ok () | Error m -> `Error (false, m))
+
+let client_cmd =
+  let script =
+    Arg.(
+      value & pos 0 string "-"
+      & info [] ~docv:"SCRIPT"
+          ~doc:"Request script: one JSON request per line (- for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send a scripted session to a running kecss serve daemon and \
+          print one JSON response per line (the session transcript).")
+    Term.(ret (const client_run $ socket_arg $ script))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "distributed approximation of minimum k-edge-connected spanning subgraphs" in
@@ -1213,7 +1308,7 @@ let () =
       (Cmd.info "kecss" ~version:"1.0.0" ~doc)
       [
         generate_cmd; solve_cmd; explain_cmd; verify_cmd; audit_cmd;
-        resilience_cmd; experiment_cmd; info_cmd;
+        resilience_cmd; experiment_cmd; serve_cmd; client_cmd; info_cmd;
       ]
   in
   exit (Cmd.eval main)

@@ -89,11 +89,28 @@ let commit st c =
 let max_level st = Level_index.max_level st.index
 let candidates_at st level = Level_index.candidates_at st.index level
 
-let solve ?(trace = Kecss_obs.Trace.noop) ?max_iterations rng p strategy =
+(* warm start: commit the caller's pre-chosen candidates before the
+   engine runs, so coverage flips propagate once through the index and
+   only the uncovered remainder is solved for. An incremental
+   maintainer re-covering after churn seeds this with the surviving
+   solution and pays O(deficit), not O(elements). *)
+let warm_start st = function
+  | None -> ()
+  | Some warm ->
+    Bitset.iter
+      (fun c ->
+        if c < 0 || c >= st.p.candidates then
+          invalid_arg "Cover: initial candidate out of range";
+        commit st c)
+      warm
+
+let solve ?(trace = Kecss_obs.Trace.noop) ?max_iterations ?initial rng p
+    strategy =
   (* the framework is purely local, so the phase scope is the whole solve:
      one span on the caller's trace, closed with the outcome *)
   Kecss_obs.Trace.span trace "cover" @@ fun () ->
   let st = init p in
+  warm_start st initial;
   let n = max 2 (max p.elements p.candidates) in
   let l = log2_ceil (n + 1) in
   let max_iterations =
@@ -189,8 +206,9 @@ let solve ?(trace = Kecss_obs.Trace.noop) ?max_iterations rng p strategy =
     forced = !forced;
   }
 
-let greedy p =
+let greedy ?initial p =
   let st = init p in
+  warm_start st initial;
   while st.uncovered > 0 do
     (* the exact maximizer of ce/w is always in the top rounded bucket:
        a level-l candidate has ce/w ≥ 2^(l-1), strictly above every

@@ -46,18 +46,27 @@ type result = {
 val solve :
   ?trace:Kecss_obs.Trace.t ->
   ?max_iterations:int ->
+  ?initial:Bitset.t ->
   Rng.t ->
   problem ->
   strategy ->
   result
 (** Covers every element; raises [Invalid_argument] if some element has no
-    covering candidate. [?trace] opens a ["cover"] phase span on the
-    caller's trace for the whole solve and closes it with a
+    covering candidate. [?initial] warm-starts the engine: the given
+    candidates are committed (chosen, retired, their elements covered)
+    before iteration 0, so a caller re-covering after a small change —
+    the [kecss serve] re-augmentation path — pays only for the uncovered
+    remainder; warm-started candidates count toward [weight] but not
+    [iterations] or [cost_sum]. Raises [Invalid_argument] if an initial
+    candidate is out of range. [?trace] opens a ["cover"] phase span on
+    the caller's trace for the whole solve and closes it with a
     ["cover outcome"] instant (iterations, weight, forced greedy steps);
     the default is no tracing. *)
 
-val greedy : problem -> Bitset.t
+val greedy : ?initial:Bitset.t -> problem -> Bitset.t
 (** The classical sequential greedy (one best candidate per step) — the
-    H_N-approximation yardstick. *)
+    H_N-approximation yardstick, and (being deterministic) the serve
+    repair engine. [?initial] warm-starts exactly as in {!solve}; the
+    result includes the warm-started candidates. *)
 
 val is_cover : problem -> Bitset.t -> bool

@@ -121,3 +121,11 @@ let histogram t =
     if t.counts.(s) > 0 then acc := (level_of_slot s, t.counts.(s)) :: !acc
   done;
   !acc
+
+let levels_desc t =
+  flush t;
+  let acc = ref [] in
+  for s = 0 to slots - 1 do
+    if t.counts.(s) > 0 then acc := level_of_slot s :: !acc
+  done;
+  !acc

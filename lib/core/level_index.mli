@@ -53,3 +53,10 @@ val iter_at : t -> Cost.level -> (int -> unit) -> unit
 val histogram : t -> (Cost.level * int) list
 (** Occupied levels with their candidate counts, ascending by level —
     the census the tracing layer reports each iteration. *)
+
+val levels_desc : t -> Cost.level list
+(** Occupied levels in descending order. With unit coverage counts,
+    levels partition weights into disjoint descending ranges, so a
+    best-first search (smallest weight wins) scans buckets in exactly
+    this order and stops at the first hit — the serve maintenance
+    engine's replacement-edge query. *)

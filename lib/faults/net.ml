@@ -8,17 +8,27 @@ type stats = {
   duplicated : int;
   crashed : int;
   cut : int;
+  restored : int;
 }
 
-let no_faults = { dropped = 0; delayed = 0; duplicated = 0; crashed = 0; cut = 0 }
+let no_faults =
+  {
+    dropped = 0;
+    delayed = 0;
+    duplicated = 0;
+    crashed = 0;
+    cut = 0;
+    restored = 0;
+  }
 
-let total s = s.dropped + s.delayed + s.duplicated + s.crashed + s.cut
+let total s =
+  s.dropped + s.delayed + s.duplicated + s.crashed + s.cut + s.restored
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<h>%d injected (%d dropped, %d delayed, %d duplicated, %d crashed, %d \
-     cut)@]"
-    (total s) s.dropped s.delayed s.duplicated s.crashed s.cut
+     cut, %d restored)@]"
+    (total s) s.dropped s.delayed s.duplicated s.crashed s.cut s.restored
 
 let stats_to_json s =
   Json.Obj
@@ -28,7 +38,12 @@ let stats_to_json s =
       ("duplicated", Json.Int s.duplicated);
       ("crashed", Json.Int s.crashed);
       ("cut", Json.Int s.cut);
+      ("restored", Json.Int s.restored);
     ]
+
+(* one scheduled entry; activation is per entry, not per id, so a
+   cut -> ins -> cut sequence on the same edge fires each step once *)
+type sched = Crash of int | Cut of int | Restore of int
 
 type injector = {
   plan : Plan.t;
@@ -38,11 +53,28 @@ type injector = {
   mutable dropped : int;
   mutable delayed : int;
   mutable duplicated : int;
+  mutable cut_count : int;
+  mutable restored_count : int;
+  schedule : (int * sched) array; (* sorted by round, cuts before restores *)
+  mutable next_sched : int; (* activated prefix of [schedule] *)
   crashed : (int, unit) Hashtbl.t; (* activated crash-stops *)
-  severed : (int, unit) Hashtbl.t; (* activated edge failures *)
+  severed : (int, unit) Hashtbl.t; (* currently severed edges *)
 }
 
 let injector ?(trace = Trace.noop) plan =
+  let entries =
+    List.map (fun (v, r) -> (r, 0, Crash v)) plan.Plan.crashes
+    @ List.map (fun (e, r) -> (r, 1, Cut e)) plan.Plan.cuts
+    @ List.map (fun (e, r) -> (r, 2, Restore e)) plan.Plan.ins
+  in
+  (* stable by spec position within equal (round, tie) keys; at the same
+     round cuts activate before restores, so cut+ins@r leaves the edge
+     live *)
+  let entries =
+    List.stable_sort
+      (fun (r1, t1, _) (r2, t2, _) -> compare (r1, t1) (r2, t2))
+      entries
+  in
   {
     plan;
     rng = Rng.create ~seed:plan.Plan.seed;
@@ -51,6 +83,10 @@ let injector ?(trace = Trace.noop) plan =
     dropped = 0;
     delayed = 0;
     duplicated = 0;
+    cut_count = 0;
+    restored_count = 0;
+    schedule = Array.of_list (List.map (fun (r, _, s) -> (r, s)) entries);
+    next_sched = 0;
     crashed = Hashtbl.create 4;
     severed = Hashtbl.create 4;
   }
@@ -61,7 +97,8 @@ let stats t =
     delayed = t.delayed;
     duplicated = t.duplicated;
     crashed = Hashtbl.length t.crashed;
-    cut = Hashtbl.length t.severed;
+    cut = t.cut_count;
+    restored = t.restored_count;
   }
 
 let rounds_seen t = t.passes
@@ -71,24 +108,35 @@ let now t = t.passes - 1
 let emit t ~kind ?(vertex = -1) ?(edge = -1) ?(amount = 0) () =
   Events.fault_injected t.trace ~kind ~round:(now t) ~vertex ~edge ~amount
 
-(* activate due scheduled faults exactly once, in spec order *)
+(* activate due scheduled faults exactly once per schedule entry, in
+   (round, cut-before-restore, spec position) order; redundant entries
+   (crashing a crashed vertex, cutting a severed edge, restoring a live
+   one) are silent no-ops that neither count nor emit *)
 let round_begin t ~round:_ =
   t.passes <- t.passes + 1;
   let g = now t in
-  List.iter
-    (fun (vertex, r) ->
-      if r <= g && not (Hashtbl.mem t.crashed vertex) then begin
+  let n = Array.length t.schedule in
+  while t.next_sched < n && fst t.schedule.(t.next_sched) <= g do
+    (match snd t.schedule.(t.next_sched) with
+    | Crash vertex ->
+      if not (Hashtbl.mem t.crashed vertex) then begin
         Hashtbl.replace t.crashed vertex ();
         emit t ~kind:"crash" ~vertex ()
-      end)
-    t.plan.Plan.crashes;
-  List.iter
-    (fun (edge, r) ->
-      if r <= g && not (Hashtbl.mem t.severed edge) then begin
+      end
+    | Cut edge ->
+      if not (Hashtbl.mem t.severed edge) then begin
         Hashtbl.replace t.severed edge ();
+        t.cut_count <- t.cut_count + 1;
         emit t ~kind:"edge-cut" ~edge ()
-      end)
-    t.plan.Plan.cuts
+      end
+    | Restore edge ->
+      if Hashtbl.mem t.severed edge then begin
+        Hashtbl.remove t.severed edge;
+        t.restored_count <- t.restored_count + 1;
+        emit t ~kind:"edge-restore" ~edge ()
+      end);
+    t.next_sched <- t.next_sched + 1
+  done
 
 let alive t ~round:_ v = not (Hashtbl.mem t.crashed v)
 

@@ -23,13 +23,14 @@ type stats = {
   delayed : int;     (** messages postponed *)
   duplicated : int;  (** messages delivered twice *)
   crashed : int;     (** vertices crash-stopped *)
-  cut : int;         (** edges severed *)
+  cut : int;         (** edge-cut activations *)
+  restored : int;    (** edge-restore activations (plan [ins] entries) *)
 }
 
 val no_faults : stats
 
 val total : stats -> int
-(** Total injections (crash/cut count once at activation). *)
+(** Total injections (crash/cut/restore count once at activation). *)
 
 val pp_stats : Format.formatter -> stats -> unit
 val stats_to_json : stats -> Json.t

@@ -5,6 +5,7 @@ type t = {
   duplicate : float;
   crashes : (int * int) list;
   cuts : (int * int) list;
+  ins : (int * int) list;
   seed : int;
 }
 
@@ -18,12 +19,13 @@ let empty =
     duplicate = 0.0;
     crashes = [];
     cuts = [];
+    ins = [];
     seed = default_seed;
   }
 
 let is_empty t =
   t.drop = 0.0 && t.delay_p = 0.0 && t.duplicate = 0.0 && t.crashes = []
-  && t.cuts = []
+  && t.cuts = [] && t.ins = []
 
 let check_prob what p =
   if not (p >= 0.0 && p <= 1.0) then
@@ -50,6 +52,10 @@ let cut ~edge ~round =
   if edge < 0 || round < 0 then invalid_arg "Plan.cut: negative";
   { empty with cuts = [ (edge, round) ] }
 
+let insert ~edge ~round =
+  if edge < 0 || round < 0 then invalid_arg "Plan.insert: negative";
+  { empty with ins = [ (edge, round) ] }
+
 let with_seed seed t = { t with seed }
 
 (* independent union: a message survives both loss processes; the zero
@@ -68,6 +74,7 @@ let compose a b =
     duplicate = join_prob a.duplicate b.duplicate;
     crashes = a.crashes @ b.crashes;
     cuts = a.cuts @ b.cuts;
+    ins = a.ins @ b.ins;
     seed = (if a.seed <> default_seed then a.seed else b.seed);
   }
 
@@ -140,6 +147,9 @@ let parse_entry acc entry =
     | "cut" ->
       let* edge, round = parse_at key ~id_prefix:'e' v in
       Ok (compose acc (cut ~edge ~round))
+    | "ins" ->
+      let* edge, round = parse_at key ~id_prefix:'e' v in
+      Ok (compose acc (insert ~edge ~round))
     | "seed" ->
       let* s = parse_nat key v in
       Ok { acc with seed = s }
@@ -189,6 +199,11 @@ let to_spec t =
       sep ();
       Buffer.add_string b (Printf.sprintf "cut=e%d@r%d" e r))
     t.cuts;
+  List.iter
+    (fun (e, r) ->
+      sep ();
+      Buffer.add_string b (Printf.sprintf "ins=e%d@r%d" e r))
+    t.ins;
   sep ();
   Buffer.add_string b (Printf.sprintf "seed=%d" t.seed);
   Buffer.contents b

@@ -27,7 +27,11 @@ type t = {
   delay_max : int;       (** delays are uniform in [1, delay_max] rounds *)
   duplicate : float;     (** per-message duplication probability, 0 = off *)
   crashes : (int * int) list;  (** (vertex, round) crash-stops *)
-  cuts : (int * int) list;     (** (edge, round) permanent edge failures *)
+  cuts : (int * int) list;     (** (edge, round) edge failures *)
+  ins : (int * int) list;
+      (** (edge, round) edge inserts/restores: a cut edge comes back, or —
+          when a plan is reinterpreted as a [kecss serve] churn stream —
+          an edge of the universe (re)joins the live graph *)
   seed : int;            (** seed of the injector's random stream *)
 }
 
@@ -57,7 +61,15 @@ val crash : vertex:int -> round:int -> t
 
 val cut : edge:int -> round:int -> t
 (** [cut ~edge ~round]: the edge fails at the given global engine round;
-    every message sent on it afterwards is lost. *)
+    every message sent on it afterwards is lost (until a later
+    {!insert} restores it). *)
+
+val insert : edge:int -> round:int -> t
+(** [insert ~edge ~round]: the edge (re)appears at the given global
+    engine round. Under {!Net} this restores a previously cut edge (a
+    no-op if the edge is live); as a [kecss serve] churn stream it is an
+    edge-insert update. At the same round, cuts activate before
+    inserts. *)
 
 val with_seed : int -> t -> t
 
@@ -72,13 +84,13 @@ val ( ++ ) : t -> t -> t
 
 val of_spec : string -> (t, string) result
 (** Parse the compact comma-separated spec shown above. Keys: [drop=P],
-    [delay=P] or [delay=P:MAX], [dup=P], [crash=vV@rR], [cut=eE@rR]
-    (both repeatable), [seed=N]. Returns a descriptive error on
-    malformed input or out-of-range values. *)
+    [delay=P] or [delay=P:MAX], [dup=P], [crash=vV@rR], [cut=eE@rR],
+    [ins=eE@rR] (the scheduled kinds all repeatable), [seed=N]. Returns
+    a descriptive error on malformed input or out-of-range values. *)
 
 val to_spec : t -> string
 (** Canonical spec string; [of_spec (to_spec p)] is [Ok p] up to the
-    order of crash/cut entries. *)
+    order of crash/cut/ins entries. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints {!to_spec}. *)

@@ -165,6 +165,24 @@ let pool_table ppf ~jobs ~lifetime_ns stats =
     ~columns:[ "domain"; "tasks"; "busy ms"; "idle ms"; "busy %" ]
     rows
 
+let latency_table ppf ~title rows =
+  match List.filter (fun (_, h) -> Prof.Hist.count h > 0) rows with
+  | [] -> ()
+  | rows ->
+    table ppf ~title
+      ~columns:[ "kind"; "reqs"; "total ms"; "p50 ms"; "p99 ms"; "max ms" ]
+      (List.map
+         (fun (kind, h) ->
+           [
+             S kind;
+             I (Prof.Hist.count h);
+             F (ms (Prof.Hist.total_ns h));
+             F (ms (Prof.Hist.p50 h));
+             F (ms (Prof.Hist.p99 h));
+             F (ms (Prof.Hist.max_ns h));
+           ])
+         rows)
+
 let pool_to_json ~jobs ~lifetime_ns stats =
   Json.Obj
     [

@@ -63,6 +63,12 @@ val pool_to_json :
 (** The same utilization data as a JSON object (the [profile.pool]
     section of [bench-metrics.json]). *)
 
+val latency_table :
+  Format.formatter -> title:string -> (string * Prof.Hist.t) list -> unit
+(** Per-request-kind latency summary (count, total, p50/p99/max in ms)
+    for the [kecss serve] session report; empty histograms are skipped,
+    and nothing prints when no kind was hit. *)
+
 (** {1 Causal reports}
 
     Renderers for {!Causal.analyze} output. The ledger's per-category

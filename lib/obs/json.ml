@@ -294,3 +294,106 @@ let to_float_opt = function
   | _ -> None
 
 let to_string_opt = function Str s -> Some s | _ -> None
+
+(* ----- wire framing ----- *)
+
+module Frame = struct
+  (* A frame is `<decimal payload length>\n<payload>\n`. The prefix is a
+     non-empty run of ASCII digits; the trailing newline is part of the
+     frame but not counted in the length. The decoder is incremental:
+     bytes arrive in arbitrary chunks (partial reads), frames are
+     extracted as soon as they are complete, and every malformation is a
+     sticky [`Error] — never an exception. *)
+
+  let default_max_length = 16 * 1024 * 1024
+
+  (* longest prefix we accept before a newline must appear: enough for
+     any permitted length, short enough that garbage input fails fast
+     and the length value cannot overflow [int] *)
+  let max_prefix_digits = 10
+
+  let encode_string payload =
+    let n = String.length payload in
+    let buf = Buffer.create (n + 16) in
+    Buffer.add_string buf (string_of_int n);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf payload;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let encode v = encode_string (to_string v)
+
+  type decoder = {
+    max_length : int;
+    mutable data : string; (* unconsumed suffix starts at [off] *)
+    mutable off : int;
+    mutable failed : string option; (* sticky protocol error *)
+  }
+
+  let decoder ?(max_length = default_max_length) () =
+    { max_length; data = ""; off = 0; failed = None }
+
+  let pending t = String.length t.data - t.off
+
+  let feed t chunk =
+    if t.failed = None && String.length chunk > 0 then
+      if t.off = 0 && t.data = "" then t.data <- chunk
+      else begin
+        (* compact: drop the consumed prefix while appending *)
+        let rest = String.sub t.data t.off (pending t) in
+        t.data <- rest ^ chunk;
+        t.off <- 0
+      end
+
+  let fail t msg =
+    t.failed <- Some msg;
+    `Error msg
+
+  let next_string t =
+    match t.failed with
+    | Some msg -> `Error msg
+    | None -> (
+      let n = String.length t.data in
+      match String.index_from_opt t.data t.off '\n' with
+      | None ->
+        if n - t.off > max_prefix_digits then
+          fail t "bad length prefix: no newline within limit"
+        else `Await
+      | Some nl ->
+        let prefix = String.sub t.data t.off (nl - t.off) in
+        let digits_only =
+          prefix <> ""
+          && String.for_all (function '0' .. '9' -> true | _ -> false) prefix
+        in
+        if not digits_only then
+          fail t (Printf.sprintf "bad length prefix %S" prefix)
+        else if String.length prefix > max_prefix_digits then
+          fail t (Printf.sprintf "oversized length prefix %S" prefix)
+        else
+          let len = int_of_string prefix in
+          if len > t.max_length then
+            fail t
+              (Printf.sprintf "oversized frame: %d > max %d" len t.max_length)
+          else if n - nl - 1 < len + 1 then `Await
+          else begin
+            let payload = String.sub t.data (nl + 1) len in
+            let term = t.data.[nl + 1 + len] in
+            if term <> '\n' then fail t "bad frame terminator"
+            else begin
+              t.off <- nl + 1 + len + 1;
+              if t.off = n then begin
+                t.data <- "";
+                t.off <- 0
+              end;
+              `Frame payload
+            end
+          end)
+
+  let next t =
+    match next_string t with
+    | (`Await | `Error _) as r -> r
+    | `Frame payload -> (
+      match parse payload with
+      | Ok v -> `Frame v
+      | Error msg -> fail t ("bad frame payload: " ^ msg))
+end

@@ -49,3 +49,46 @@ val to_float_opt : t -> float option
 (** [Int]s widen to float. *)
 
 val to_string_opt : t -> string option
+
+(** {2 Wire framing}
+
+    Length-prefixed JSON frames for the [kecss serve] wire protocol:
+    [<decimal payload length>\n<payload>\n]. The decoder is incremental —
+    feed it whatever byte chunks the socket yields and pull frames as
+    they complete. Malformed input (non-digit or over-long length
+    prefixes, frames past the size limit, a missing terminator, payloads
+    that are not exactly one JSON value) yields a sticky [`Error] rather
+    than an exception, so protocol errors never escape an accept loop. *)
+
+module Frame : sig
+  val default_max_length : int
+  (** 16 MiB. *)
+
+  val encode_string : string -> string
+  (** [encode_string payload] is the frame bytes for [payload]. *)
+
+  val encode : t -> string
+  (** [encode v] frames the compact rendering of [v]. *)
+
+  type decoder
+
+  val decoder : ?max_length:int -> unit -> decoder
+  (** A fresh decoder; frames longer than [max_length] (default
+      {!default_max_length}) are rejected. *)
+
+  val feed : decoder -> string -> unit
+  (** Append a chunk of received bytes. No-op after an error. *)
+
+  val pending : decoder -> int
+  (** Bytes fed but not yet consumed by a returned frame — nonzero at
+      end-of-input means the stream died mid-frame. *)
+
+  val next_string : decoder -> [ `Frame of string | `Await | `Error of string ]
+  (** Extract the next complete frame's raw payload. [`Await] means more
+      input is needed; [`Error] is sticky — the decoder stays failed and
+      every later call returns the same error. *)
+
+  val next : decoder -> [ `Frame of t | `Await | `Error of string ]
+  (** {!next_string} plus a strict {!parse} of the payload (trailing
+      garbage inside a frame is a protocol error too). *)
+end

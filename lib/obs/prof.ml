@@ -76,6 +76,19 @@ module Hist = struct
   let p50 h = percentile h 0.50
   let p90 h = percentile h 0.90
   let p99 h = percentile h 0.99
+
+  let to_json h =
+    let pct p = if h.count = 0 then Json.Null else Json.Float (p h) in
+    Json.Obj
+      [
+        ("count", Json.Int h.count);
+        ("total_ns", Json.Float h.total);
+        ("min_ns", Json.Float (min_ns h));
+        ("max_ns", Json.Float (max_ns h));
+        ("p50_ns", pct p50);
+        ("p90_ns", pct p90);
+        ("p99_ns", pct p99);
+      ]
 end
 
 type gc_delta = {

@@ -42,6 +42,10 @@ module Hist : sig
   val p50 : t -> float
   val p90 : t -> float
   val p99 : t -> float
+
+  val to_json : t -> Json.t
+  (** Summary object (count, total/min/max, p50/p90/p99 in ns);
+      percentiles are [null] when the histogram is empty. *)
 end
 
 type gc_delta = {

@@ -1,0 +1,93 @@
+(** Incremental maintenance of a k-edge-connected spanning subgraph
+    under edge churn — the resident state behind [kecss serve].
+
+    The maintained solution is the {e canonical sparse certificate}: the
+    union of [k] successively edge-disjoint lex-minimum (weight, id)
+    spanning forests of the live edge set (Nagamochi–Ibaraki /
+    Thurimella). Two facts make it the right resident object:
+
+    - λ(certificate) ≥ min(k, λ(live graph)) with at most [k(n-1)]
+      edges, so the served solution is k-edge-connected exactly when the
+      live graph still is;
+    - with the lex-min tie-break the certificate is a unique function of
+      the live edge set, independent of update history — incremental
+      maintenance provably equals a from-scratch rebuild byte-for-byte,
+      which is what the churn determinism tests assert.
+
+    Updates touch at most [k] forest levels: a deleted tree edge is
+    replaced by the lex-min eligible edge crossing its cut (found by a
+    descending scan of the {!Kecss_core.Level_index} weight buckets —
+    the first occupied bucket with an eligible crossing edge contains
+    the minimum), and the hole that replacement leaves in its own forest
+    cascades one level deeper; inserts run the symmetric cycle rule.
+    Every mutation is gated by {!Kecss_connectivity.Verify.check_kecss};
+    an invariant breach triggers a warm-started
+    {!Kecss_core.Cover.greedy} re-augmentation and, failing that, a
+    counted from-scratch rebuild.
+
+    The edge-id universe is fixed at {!create}: deletes kill an edge of
+    the loaded graph, inserts revive a previously deleted one, so masks
+    keep meaning the same thing across the whole session. *)
+
+open Kecss_graph
+
+type t
+
+type path_taken =
+  | Incremental  (** the cascade alone restored the invariant *)
+  | Repaired  (** defensive Cover re-augmentation fired (non-canonical) *)
+  | Rebuilt  (** from-scratch fallback fired *)
+
+type outcome = {
+  report : Kecss_connectivity.Verify.report;
+  path : path_taken;
+  degraded : bool;
+      (** the live graph itself has λ < k: the certificate carries
+          λ(live), the best any spanning subgraph can do *)
+}
+
+type stats = {
+  deletes : int;
+  inserts : int;
+  replacements : int;  (** delete cascades that found a replacement *)
+  cascade_ops : int;  (** forest-level operations across all cascades *)
+  repairs : int;  (** Cover re-augmentations (defensive path) *)
+  rebuilds : int;  (** from-scratch fallbacks *)
+  degraded : int;  (** updates that left the live graph below k *)
+}
+
+val create : ?live:Bitset.t -> Graph.t -> k:int -> t
+(** [create g ~k] loads the universe graph and builds the certificate of
+    the live edge set ([?live] defaults to every edge). Raises
+    [Invalid_argument] if [k < 1] or the graph is empty. *)
+
+val graph : t -> Graph.t
+val k : t -> int
+
+val live : t -> Bitset.t
+(** The live edge mask. A view, not a copy — treat as read-only. *)
+
+val solution : t -> Bitset.t
+(** The maintained solution mask over the universe edge ids. A view, not
+    a copy — treat as read-only (tests corrupt it deliberately to reach
+    the repair path). *)
+
+val stats : t -> stats
+
+val verify : ?cap:int -> t -> Kecss_connectivity.Verify.report
+(** {!Kecss_connectivity.Verify.check_kecss} of the current solution;
+    [?cap] raises the λ early-exit ceiling as there. *)
+
+val delete : ?gate_check:bool -> t -> int -> (outcome option, string) result
+(** [delete t e] kills live edge [e] and cascades the certificate.
+    [Error] (state unchanged) if [e] is unknown or already dead. With
+    [~gate_check:false] the verification gate is skipped and the outcome
+    is [None] — for benchmarking the bare maintenance cost. *)
+
+val insert : ?gate_check:bool -> t -> int -> (outcome option, string) result
+(** [insert t e] revives dead edge [e]; otherwise as {!delete}. *)
+
+val force_rebuild : t -> unit
+(** From-scratch certificate rebuild (counted in [rebuilds]) — the
+    fallback path, exposed so benchmarks can price it against the
+    incremental cascade. *)

@@ -131,6 +131,114 @@ let framework_tests =
              strategies));
   ]
 
+(* ----- warm start (the serve repair path) ----- *)
+
+let warm_tests =
+  [
+    case "greedy warm-started from a partial cover still covers" (fun () ->
+        let rng = Rng.create ~seed:21 in
+        for trial = 1 to 6 do
+          let p = random_problem rng ~elements:30 ~candidates:14 ~max_w:9 in
+          let full = Cover.greedy p in
+          (* keep an arbitrary half of the cover as the warm start *)
+          let warm = Bitset.create p.Cover.candidates in
+          let i = ref 0 in
+          Bitset.iter
+            (fun c ->
+              if !i mod 2 = 0 then Bitset.add warm c;
+              incr i)
+            full;
+          let r = Cover.greedy ~initial:warm p in
+          check_is
+            (Printf.sprintf "trial %d covers" trial)
+            (Cover.is_cover p r);
+          check_is
+            (Printf.sprintf "trial %d includes the warm start" trial)
+            (Bitset.fold (fun c acc -> acc && Bitset.mem r c) warm true)
+        done);
+    case "greedy warm-started from a full cover is a fixpoint" (fun () ->
+        let rng = Rng.create ~seed:22 in
+        let p = random_problem rng ~elements:25 ~candidates:10 ~max_w:5 in
+        let full = Cover.greedy p in
+        let again = Cover.greedy ~initial:full p in
+        Alcotest.(check (list int))
+          "unchanged"
+          (Bitset.fold (fun c acc -> c :: acc) full [])
+          (Bitset.fold (fun c acc -> c :: acc) again []));
+    case "solve counts warm candidates in weight but not iterations"
+      (fun () ->
+        let rng = Rng.create ~seed:23 in
+        let p = random_problem rng ~elements:20 ~candidates:8 ~max_w:6 in
+        let full = Cover.greedy p in
+        let r =
+          Cover.solve ~initial:full (Rng.create ~seed:1) p
+            (Cover.Voting { divisor = 8 })
+        in
+        check_int "no iterations needed" 0 r.Cover.iterations;
+        check_int "weight is the warm start's"
+          (Bitset.fold (fun c acc -> acc + p.Cover.weight c) full 0)
+          r.Cover.weight;
+        check_is "chosen is the warm start"
+          (Bitset.fold (fun c acc -> acc && Bitset.mem r.Cover.chosen c) full
+             true));
+    case "out-of-range warm candidate is rejected" (fun () ->
+        let rng = Rng.create ~seed:24 in
+        let p = random_problem rng ~elements:10 ~candidates:5 ~max_w:3 in
+        let warm = Bitset.create 16 in
+        Bitset.add warm 9;
+        match Cover.greedy ~initial:warm p with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "accepted candidate 9 of 5");
+  ]
+
+(* ----- level index descending scan (the serve replacement query) ----- *)
+
+let level_index_tests =
+  [
+    case "levels_desc lists occupied levels in descending order" (fun () ->
+        let levels = [| 3; 0; 3; -2; Cost.infinite; 0 |] in
+        let t =
+          Level_index.create ~universe:6 ~level:(fun c -> levels.(c))
+        in
+        for c = 0 to 5 do
+          Level_index.add t c
+        done;
+        Alcotest.(check (list int))
+          "descending, deduplicated"
+          [ Cost.infinite; 3; 0; -2 ]
+          (Level_index.levels_desc t);
+        (* each listed level is actually inhabited *)
+        List.iter
+          (fun l ->
+            check_is "non-empty bucket" (Level_index.candidates_at t l <> []))
+          (Level_index.levels_desc t));
+    case "levels_desc tracks touch and retire" (fun () ->
+        let levels = [| 5; 5; 1 |] in
+        let t =
+          Level_index.create ~universe:3 ~level:(fun c -> levels.(c))
+        in
+        for c = 0 to 2 do
+          Level_index.add t c
+        done;
+        Alcotest.(check (list int)) "initial" [ 5; 1 ]
+          (Level_index.levels_desc t);
+        (* candidate 0 drops to the bottom; 5 stays inhabited via 1 *)
+        levels.(0) <- Cost.useless;
+        Level_index.touch t 0;
+        Alcotest.(check (list int)) "after touch" [ 5; 1 ]
+          (Level_index.levels_desc t);
+        levels.(1) <- 1;
+        Level_index.touch t 1;
+        Alcotest.(check (list int)) "level 5 emptied" [ 1 ]
+          (Level_index.levels_desc t);
+        Level_index.retire t 2;
+        Alcotest.(check (list int)) "after retire" [ 1 ]
+          (Level_index.levels_desc t);
+        Level_index.retire t 1;
+        Alcotest.(check (list int)) "empty index" []
+          (Level_index.levels_desc t));
+  ]
+
 let mds_tests =
   [
     case "dominating on the pool, both strategies" (fun () ->
@@ -175,4 +283,10 @@ let mds_tests =
   ]
 
 let () =
-  Alcotest.run "cover" [ ("framework", framework_tests); ("mds", mds_tests) ]
+  Alcotest.run "cover"
+    [
+      ("framework", framework_tests);
+      ("warm-start", warm_tests);
+      ("level-index", level_index_tests);
+      ("mds", mds_tests);
+    ]

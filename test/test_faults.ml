@@ -135,6 +135,54 @@ let plan_tests =
         check_is "empty" (Plan.is_empty Plan.empty);
         check_is "seeded empty" (Plan.is_empty (Plan.with_seed 99 Plan.empty));
         check_is "drop not empty" (not (Plan.is_empty (Plan.drop 0.1))));
+    case "ins parses, composes and round-trips" (fun () ->
+        (match Plan.of_spec "cut=e3@r0,ins=e3@r5,seed=2" with
+        | Error e -> Alcotest.fail e
+        | Ok p ->
+          Alcotest.(check (list (pair int int))) "cuts" [ (3, 0) ] p.Plan.cuts;
+          Alcotest.(check (list (pair int int))) "ins" [ (3, 5) ] p.Plan.ins);
+        (match Plan.of_spec "ins=3@r5" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted ins without the e prefix");
+        check_is "ins alone is not empty"
+          (not (Plan.is_empty (Plan.insert ~edge:0 ~round:0)));
+        let p =
+          Plan.(
+            cut ~edge:5 ~round:0 ++ insert ~edge:5 ~round:3
+            ++ insert ~edge:9 ~round:1 |> with_seed 8)
+        in
+        match Plan.of_spec (Plan.to_spec p) with
+        | Error e -> Alcotest.fail e
+        | Ok q -> check_is "identical plan" (p = q));
+    qcheck
+      (QCheck.Test.make ~name:"of_spec/to_spec round-trip (random plans)"
+         ~count:300
+         QCheck.(
+           tup4
+             (list (pair (int_bound 200) (int_bound 50)))
+             (list (pair (int_bound 200) (int_bound 50)))
+             (list (pair (int_bound 200) (int_bound 50)))
+             (int_bound 10000))
+         (fun (crashes, cuts, ins, seed) ->
+           let p =
+             List.fold_left
+               (fun acc (v, r) -> Plan.(acc ++ crash ~vertex:v ~round:r))
+               Plan.empty crashes
+           in
+           let p =
+             List.fold_left
+               (fun acc (e, r) -> Plan.(acc ++ cut ~edge:e ~round:r))
+               p cuts
+           in
+           let p =
+             List.fold_left
+               (fun acc (e, r) -> Plan.(acc ++ insert ~edge:e ~round:r))
+               p ins
+           in
+           let p = Plan.with_seed (seed + 1) p in
+           match Plan.of_spec (Plan.to_spec p) with
+           | Ok q -> p = q
+           | Error _ -> false));
     case "combinators validate their ranges" (fun () ->
         let raises f =
           match f () with
@@ -217,6 +265,63 @@ let net_tests =
           check_int "nothing crosses the dead edge" 0 !(states.(1));
           check_int "cut recorded" 1 faults.Net.cut;
           check_int "loss recorded as a drop" 1 faults.Net.dropped);
+    case "edge restore revives delivery from its round on" (fun () ->
+        (* v0 sends on edge 0 at rounds 0 and 4 (staying active through
+           round 4); the cut eats the first send, the restore at round 3
+           lets the second one through *)
+        let sender ~sends ~until =
+          {
+            Network.init = (fun _ -> ref 0);
+            step =
+              (fun ~round v received inbox ->
+                received := !received + List.length inbox;
+                let out =
+                  if v = 0 && List.mem round sends then
+                    [ { Network.edge = 0; payload = [| round |] } ]
+                  else []
+                in
+                (out, if v = 0 && round < until then `Active else `Idle));
+          }
+        in
+        let g = Gen.path 2 in
+        (match
+           Plan.of_spec "cut=e0@r0,ins=e0@r3"
+           |> Result.fold ~ok:Fun.id ~error:(fun e -> Alcotest.fail e)
+           |> fun plan ->
+           Net.run_counted ~plan g (sender ~sends:[ 0; 4 ] ~until:4)
+         with
+        | Net.Stalled _ -> Alcotest.fail "stalled"
+        | Net.Quiesced { states; faults; _ } ->
+          check_int "only the post-restore send arrives" 1 !(states.(1));
+          check_int "cut recorded" 1 faults.Net.cut;
+          check_int "restore recorded" 1 faults.Net.restored;
+          check_int "severed send recorded as a drop" 1 faults.Net.dropped;
+          check_is "pp mentions restores"
+            (contains (Format.asprintf "%a" Net.pp_stats faults) "restored"));
+        (* cut -> ins -> cut: the edge dies, revives, dies again *)
+        (match
+           Plan.of_spec "cut=e0@r0,ins=e0@r3,cut=e0@r6"
+           |> Result.fold ~ok:Fun.id ~error:(fun e -> Alcotest.fail e)
+           |> fun plan ->
+           Net.run_counted ~plan g (sender ~sends:[ 0; 4; 8 ] ~until:8)
+         with
+        | Net.Stalled _ -> Alcotest.fail "stalled"
+        | Net.Quiesced { states; faults; _ } ->
+          check_int "only the mid-window send arrives" 1 !(states.(1));
+          check_int "both cuts recorded" 2 faults.Net.cut;
+          check_int "one restore" 1 faults.Net.restored;
+          check_int "two severed sends dropped" 2 faults.Net.dropped);
+        (* restoring a never-cut edge is a silent no-op *)
+        match
+          Net.run_counted
+            ~plan:(Plan.insert ~edge:0 ~round:0)
+            g (sender ~sends:[ 1 ] ~until:1)
+        with
+        | Net.Stalled _ -> Alcotest.fail "stalled"
+        | Net.Quiesced { states; faults; _ } ->
+          check_int "delivery unaffected" 1 !(states.(1));
+          check_int "nothing restored" 0 faults.Net.restored;
+          check_int "no injections at all" 0 (Net.total faults));
     case "fault-induced starvation becomes a Stalled outcome" (fun () ->
         let g = Gen.path 2 in
         match

@@ -579,6 +579,128 @@ let test_json_roundtrip_property () =
     | Error e -> Alcotest.fail (Printf.sprintf "iteration %d: %s: %s" i s e)
   done
 
+(* ----- frame codec (the serve wire protocol) ----- *)
+
+let frame_error dec =
+  match Json.Frame.next dec with
+  | `Error msg -> msg
+  | `Frame _ -> Alcotest.fail "expected a framing error, got a frame"
+  | `Await -> Alcotest.fail "expected a framing error, got Await"
+
+let test_frame_roundtrip () =
+  let vals =
+    [
+      Json.Null;
+      Json.Obj [ ("req", Json.Str "stats") ];
+      Json.List [ Json.Int 1; Json.Str "x\n\"y" ];
+    ]
+  in
+  let stream = String.concat "" (List.map Json.Frame.encode vals) in
+  let dec = Json.Frame.decoder () in
+  Json.Frame.feed dec stream;
+  List.iter
+    (fun v ->
+      match Json.Frame.next dec with
+      | `Frame v' -> Alcotest.(check string) "frame round-trips"
+          (Json.to_string v) (Json.to_string v')
+      | `Error e -> Alcotest.fail e
+      | `Await -> Alcotest.fail "decoder starved")
+    vals;
+  (match Json.Frame.next dec with
+  | `Await -> ()
+  | _ -> Alcotest.fail "stream should be drained");
+  Alcotest.(check int) "no pending bytes" 0 (Json.Frame.pending dec)
+
+let test_frame_incremental () =
+  (* feeding one byte at a time must produce the same frames *)
+  let stream =
+    Json.Frame.encode_string {|{"a":1}|} ^ Json.Frame.encode_string {|[2,3]|}
+  in
+  let dec = Json.Frame.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Json.Frame.feed dec (String.make 1 c);
+      let rec drain () =
+        match Json.Frame.next dec with
+        | `Frame v -> got := Json.to_string v :: !got;
+          drain ()
+        | `Await -> ()
+        | `Error e -> Alcotest.fail e
+      in
+      drain ())
+    stream;
+  Alcotest.(check (list string))
+    "both frames, in order"
+    [ {|{"a":1}|}; {|[2,3]|} ]
+    (List.rev !got)
+
+let test_frame_truncated () =
+  (* a frame cut off mid-payload awaits; EOF detection is the session
+     loop's job (pending > 0) *)
+  let full = Json.Frame.encode_string {|{"req":"verify"}|} in
+  let dec = Json.Frame.decoder () in
+  Json.Frame.feed dec (String.sub full 0 (String.length full - 5));
+  (match Json.Frame.next dec with
+  | `Await -> ()
+  | _ -> Alcotest.fail "truncated frame must Await");
+  Alcotest.(check bool) "bytes pending" true (Json.Frame.pending dec > 0);
+  (* completing the frame recovers it *)
+  Json.Frame.feed dec (String.sub full (String.length full - 5) 5);
+  match Json.Frame.next dec with
+  | `Frame _ -> ()
+  | _ -> Alcotest.fail "completed frame must decode"
+
+let test_frame_oversized () =
+  let dec = Json.Frame.decoder ~max_length:64 () in
+  Json.Frame.feed dec "1000000\n";
+  let msg = frame_error dec in
+  Alcotest.(check bool) "oversized reported" true
+    (String.length msg > 0
+    && String.sub msg 0 (min 9 (String.length msg)) = "oversized");
+  (* sticky: feeding more does not resurrect the decoder *)
+  Json.Frame.feed dec "4\nnull\n";
+  ignore (frame_error dec)
+
+let test_frame_bad_prefix () =
+  List.iter
+    (fun junk ->
+      let dec = Json.Frame.decoder () in
+      Json.Frame.feed dec junk;
+      ignore (frame_error dec))
+    [
+      "abc\nnull\n" (* not digits *);
+      "-4\nnull\n" (* negative *);
+      "4 \nnull\n" (* embedded space *);
+      "99999999999999999999\n" (* overflows int parsing *);
+      String.make 64 '1' (* no newline within the prefix digit limit *);
+    ]
+
+let test_frame_trailing_garbage () =
+  (* a frame whose terminator byte is not '\n' is a protocol error, not
+     a silently resynchronized stream *)
+  let dec = Json.Frame.decoder () in
+  Json.Frame.feed dec "4\nnullX";
+  ignore (frame_error dec);
+  (* payload that parses but with junk inside the declared length *)
+  let dec2 = Json.Frame.decoder () in
+  Json.Frame.feed dec2 "9\nnull junk\n";
+  match Json.Frame.next dec2 with
+  | `Error msg ->
+    Alcotest.(check bool) "payload error" true
+      (String.length msg >= 3 && String.sub msg 0 3 = "bad")
+  | _ -> Alcotest.fail "garbage payload must error"
+
+let frame_tests =
+  [
+    case "encode/decode round-trip" test_frame_roundtrip;
+    case "byte-at-a-time incremental decode" test_frame_incremental;
+    case "truncated frame awaits, then completes" test_frame_truncated;
+    case "oversized length prefix is a sticky error" test_frame_oversized;
+    case "garbage length prefixes error cleanly" test_frame_bad_prefix;
+    case "trailing garbage errors cleanly" test_frame_trailing_garbage;
+  ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -620,6 +742,7 @@ let () =
           case "parse unit cases" test_json_parse_units;
           case "round-trip property" test_json_roundtrip_property;
         ] );
+      ("frame", frame_tests);
       ( "metrics",
         [
           case "series sums to messages" test_series_sums_to_messages;
