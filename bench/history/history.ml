@@ -172,10 +172,23 @@ let pretty_ns ns =
   else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
 
-(* relative change, guarding the old-value-0 cases *)
+(* relative change; [None] when the percentage is meaningless — a zero
+   or non-finite baseline has no scale to measure against. A metric that
+   appears (old 0, new nonzero) must read as "new metric", never as an
+   infinite regression. *)
 let rel_delta ~old_v ~new_v =
-  if old_v = 0.0 then if new_v = 0.0 then 0.0 else Float.infinity
-  else (new_v -. old_v) /. Float.abs old_v
+  if not (Float.is_finite old_v && Float.is_finite new_v) then None
+  else if old_v = 0.0 then if new_v = 0.0 then Some 0.0 else None
+  else Some ((new_v -. old_v) /. Float.abs old_v)
+
+(* Entries on disk went through the JSON writer's "%.12g", so a loaded
+   value can differ from the in-memory one by ~1 ulp even when the metric
+   is perfectly deterministic.  Push a value through the same
+   representation before diffing: deterministic metrics then compare
+   exactly equal, and a 0-threshold self-compare is noise-free.
+   Idempotent (12 significant decimal digits identify a unique double). *)
+let canonical v =
+  if Float.is_finite v then float_of_string (Printf.sprintf "%.12g" v) else v
 
 (* [compare ~threshold ~old_e ~new_e] prints per-test and per-experiment
    deltas and returns the number of regressions: metrics that got worse by
@@ -209,10 +222,18 @@ let compare ~threshold ~old_e ~new_e =
         match List.assoc_opt name old_e.tests with
         | None -> Printf.printf "%-44s %12s %12s %8s %s\n" name "-"
             (pretty_ns new_ns) "-" "new test"
-        | Some old_ns ->
-          let d = rel_delta ~old_v:old_ns ~new_v:new_ns in
-          Printf.printf "%-44s %12s %12s %+7.1f%% %s\n" name
-            (pretty_ns old_ns) (pretty_ns new_ns) (100.0 *. d) (judge d))
+        | Some old_ns -> (
+          let new_ns = canonical new_ns in
+          match rel_delta ~old_v:old_ns ~new_v:new_ns with
+          | Some d ->
+            Printf.printf "%-44s %12s %12s %+7.1f%% %s\n" name
+              (pretty_ns old_ns) (pretty_ns new_ns) (100.0 *. d) (judge d)
+          | None ->
+            Printf.printf "%-44s %12s %12s %8s %s\n" name (pretty_ns old_ns)
+              (pretty_ns new_ns) "-"
+              (if old_ns = 0.0 && new_ns <> 0.0 && Float.is_finite new_ns
+               then "new metric"
+               else "n/a")))
       new_e.tests;
     List.iter
       (fun (name, _) ->
@@ -232,9 +253,17 @@ let compare ~threshold ~old_e ~new_e =
             "-" "new experiment"
         | Some oe ->
           let metric name old_v new_v fmt =
-            let d = rel_delta ~old_v ~new_v in
-            Printf.printf "%-20s %-10s %14s %14s %+7.1f%% %s\n" id name
-              (fmt old_v) (fmt new_v) (100.0 *. d) (judge d)
+            let new_v = canonical new_v in
+            match rel_delta ~old_v ~new_v with
+            | Some d ->
+              Printf.printf "%-20s %-10s %14s %14s %+7.1f%% %s\n" id name
+                (fmt old_v) (fmt new_v) (100.0 *. d) (judge d)
+            | None ->
+              Printf.printf "%-20s %-10s %14s %14s %8s %s\n" id name
+                (fmt old_v) (fmt new_v) "-"
+                (if old_v = 0.0 && new_v <> 0.0 && Float.is_finite new_v
+                 then "new metric"
+                 else "n/a")
           in
           let int_fmt v = Printf.sprintf "%d" (int_of_float v) in
           let ratio_fmt v = Printf.sprintf "%.4f" v in

@@ -567,6 +567,154 @@ let serve_history_rows sv =
       sv.sv_sessions
 
 (* ------------------------------------------------------------------ *)
+(* sparsify tier                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Sparsify = Kecss_sparsify.Sparsify
+
+type sparsify_run = {
+  sx_mode : string;
+  sx_kept : int;
+  sx_retained : float; (* kept / m, in [0, 1] *)
+  sx_sparsify_ns : float; (* the preprocessing stage alone *)
+  sx_total_ns : float; (* sparsify + solve on the sub + lift *)
+  sx_speedup : float; (* base_ns / total_ns: > 1 means the front-end pays *)
+  sx_weight : int;
+  sx_ok : bool;
+}
+
+type sparsify_tier = {
+  sx_n : int;
+  sx_m : int;
+  sx_base_ns : float; (* unsparsified end-to-end solve *)
+  sx_base_weight : int;
+  sx_runs : sparsify_run list;
+}
+
+(* end-to-end wall-clock with and without the sparsification front-end on
+   the acceptance-scale dense instance; every sparsified solution is
+   verified against the original graph and the tier hard-fails if the
+   gate ever trips *)
+let run_sparsify_tier ~modes =
+  let k = 2 in
+  let g = Gen.random_connected (Rng.create ~seed:42) 1024 0.25 in
+  let n = Graph.n g and m = Graph.m g in
+  let time f =
+    let t0 = Kecss_obs.Prof.now_ns () in
+    let r = f () in
+    (r, Kecss_obs.Prof.now_ns () -. t0)
+  in
+  let base, base_ns = time (fun () -> Ecss2.solve ~seed:1 g) in
+  let base_report =
+    Kecss_connectivity.Verify.check_kecss g base.Ecss2.solution ~k
+  in
+  if not base_report.Kecss_connectivity.Verify.ok then
+    failwith "sparsify tier: baseline solve failed verification";
+  let runs =
+    List.map
+      (fun mode ->
+        let sp, sparsify_ns =
+          time (fun () -> Sparsify.run (Rng.create ~seed:1) g ~k ~mode)
+        in
+        let sol, rest_ns =
+          time (fun () ->
+              let r = Ecss2.solve ~seed:1 sp.Sparsify.sub in
+              Sparsify.lift sp r.Ecss2.solution)
+        in
+        let total_ns = sparsify_ns +. rest_ns in
+        let report = Kecss_connectivity.Verify.check_kecss g sol ~k in
+        if not report.Kecss_connectivity.Verify.ok then
+          failwith
+            (Printf.sprintf
+               "sparsify tier: mode %s failed verification against the \
+                original graph"
+               (Sparsify.mode_to_string mode));
+        {
+          sx_mode = Sparsify.mode_to_string mode;
+          sx_kept = sp.Sparsify.edges_out;
+          sx_retained = float_of_int sp.Sparsify.edges_out /. float_of_int m;
+          sx_sparsify_ns = sparsify_ns;
+          sx_total_ns = total_ns;
+          sx_speedup = (if total_ns > 0.0 then base_ns /. total_ns else Float.nan);
+          sx_weight = Graph.mask_weight g sol;
+          sx_ok = report.Kecss_connectivity.Verify.ok;
+        })
+      modes
+  in
+  {
+    sx_n = n;
+    sx_m = m;
+    sx_base_ns = base_ns;
+    sx_base_weight = Graph.mask_weight g base.Ecss2.solution;
+    sx_runs = runs;
+  }
+
+let print_sparsify_tier sx =
+  Printf.printf
+    "\nsparsify tier: dense G(n=%d, p=0.25), m=%d, k=2; base solve %s \
+     (weight %d)\n"
+    sx.sx_n sx.sx_m
+    (History.pretty_ns sx.sx_base_ns)
+    sx.sx_base_weight;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-8s kept %6d/%d (%4.1f%%), sparsify %s, end-to-end %s \
+         (%.2fx speedup), weight %d, verified %s\n"
+        r.sx_mode r.sx_kept sx.sx_m
+        (100.0 *. r.sx_retained)
+        (History.pretty_ns r.sx_sparsify_ns)
+        (History.pretty_ns r.sx_total_ns)
+        r.sx_speedup r.sx_weight
+        (if r.sx_ok then "yes" else "NO");
+      if r.sx_retained > 0.40 && r.sx_mode = "cert" then
+        failwith "sparsify tier: certificate retained more than 40% of edges")
+    sx.sx_runs;
+  flush stdout
+
+let sparsify_json sx =
+  let module Obs = Kecss_obs in
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int sx.sx_n);
+      ("m", Obs.Json.Int sx.sx_m);
+      ("base_ns", Obs.Json.Float sx.sx_base_ns);
+      ("base_weight", Obs.Json.Int sx.sx_base_weight);
+      ( "modes",
+        Obs.Json.List
+          (List.map
+             (fun r ->
+               Obs.Json.Obj
+                 [
+                   ("mode", Obs.Json.Str r.sx_mode);
+                   ("kept", Obs.Json.Int r.sx_kept);
+                   ("retained", Obs.Json.Float r.sx_retained);
+                   ("sparsify_ns", Obs.Json.Float r.sx_sparsify_ns);
+                   ("total_ns", Obs.Json.Float r.sx_total_ns);
+                   ("speedup", Obs.Json.Float r.sx_speedup);
+                   ("weight", Obs.Json.Int r.sx_weight);
+                   ("verified", Obs.Json.Bool r.sx_ok);
+                 ])
+             sx.sx_runs) );
+    ]
+
+(* history rows are shaped so growth is bad and History.compare's
+   REGRESSION judgement applies directly: end-to-end ns, the retained
+   fraction, and total/base (the inverse of the speedup) *)
+let sparsify_history_rows sx =
+  ("sparsify/solve-dense-base", sx.sx_base_ns)
+  :: List.concat_map
+       (fun r ->
+         [
+           (Printf.sprintf "sparsify/solve-dense-%s" r.sx_mode, r.sx_total_ns);
+           (Printf.sprintf "sparsify/retained-%s" r.sx_mode, r.sx_retained);
+           ( Printf.sprintf "sparsify/%s-over-base-ratio" r.sx_mode,
+             if sx.sx_base_ns > 0.0 then r.sx_total_ns /. sx.sx_base_ns
+             else Float.nan );
+         ])
+       sx.sx_runs
+
+(* ------------------------------------------------------------------ *)
 (* metrics JSON                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -667,7 +815,7 @@ let profile_json ~jobs ~pool_stats:(pairs, lifetime_ns) prof =
   in
   Obs.Json.Obj (("pool", pool_json) :: spans)
 
-let write_metrics_json ?serve ~jobs ~profile runs path =
+let write_metrics_json ?serve ?sparsify ~jobs ~profile runs path =
   let module Obs = Kecss_obs in
   let categories kvs =
     Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs)
@@ -703,10 +851,13 @@ let write_metrics_json ?serve ~jobs ~profile runs path =
          ("profile", profile);
          ("solves", Obs.Json.Obj solves);
        ]
+      @ (match serve with
+        | None -> []
+        | Some sv -> [ ("serve", serve_json sv) ])
       @
-      match serve with
+      match sparsify with
       | None -> []
-      | Some sv -> [ ("serve", serve_json sv) ])
+      | Some sx -> [ ("sparsify", sparsify_json sx) ])
   in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
@@ -714,7 +865,7 @@ let write_metrics_json ?serve ~jobs ~profile runs path =
   close_out oc;
   Printf.printf "telemetry for representative solves -> %s\n" path
 
-let history_entry ?serve ~rev ~jobs ~profile micro_rows runs =
+let history_entry ?serve ?sparsify ~rev ~jobs ~profile micro_rows runs =
   {
     History.rev;
     jobs;
@@ -722,7 +873,11 @@ let history_entry ?serve ~rev ~jobs ~profile micro_rows runs =
       List.filter
         (fun (_, ns) -> not (Float.is_nan ns))
         (micro_rows
-        @ match serve with None -> [] | Some sv -> serve_history_rows sv);
+        @ (match serve with None -> [] | Some sv -> serve_history_rows sv)
+        @
+        match sparsify with
+        | None -> []
+        | Some sx -> sparsify_history_rows sx);
     experiments =
       List.map
         (fun rr ->
@@ -760,13 +915,14 @@ type opts = {
   threshold : float;
   jobs : int option;
   profile : bool;
+  sparsify : string option; (* restrict the sparsify tier: cert | spanner *)
 }
 
 let usage =
   "usage: main.exe [--quick] [--exp ID]... [--micro-only] [--no-micro]\n\
   \       [--micro-filter SUBSTRING] [--metrics-out FILE]\n\
   \       [--history-out FILE] [--rev REV] [--jobs N] [--profile]\n\
-  \       [--compare OLD.json] [--threshold FRACTION]\n"
+  \       [--compare OLD.json] [--threshold FRACTION] [--sparsify MODE]\n"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -797,6 +953,11 @@ let () =
         Printf.eprintf "--jobs expects an integer >= 1\n%s" usage;
         exit 2)
     | "--profile" :: rest -> parse { o with profile = true } rest
+    | "--sparsify" :: m :: rest when List.mem m [ "cert"; "spanner"; "both" ] ->
+      parse { o with sparsify = (if m = "both" then None else Some m) } rest
+    | "--sparsify" :: _ ->
+      Printf.eprintf "--sparsify expects cert, spanner or both\n%s" usage;
+      exit 2
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n%s" arg usage;
       exit 2
@@ -816,6 +977,7 @@ let () =
         threshold = 0.10;
         jobs = None;
         profile = false;
+        sparsify = None;
       }
       args
   in
@@ -857,6 +1019,20 @@ let () =
       Some sv
     end
   in
+  let sparsify =
+    if o.micro_only then None
+    else begin
+      let modes =
+        match o.sparsify with
+        | Some "cert" -> [ Sparsify.Certificate ]
+        | Some "spanner" -> [ Sparsify.Spanner ]
+        | _ -> [ Sparsify.Certificate; Sparsify.Spanner ]
+      in
+      let sx = run_sparsify_tier ~modes in
+      print_sparsify_tier sx;
+      Some sx
+    end
+  in
   let micro_rows =
     if (not o.no_micro) || o.micro_only then run_micro ?filter:o.micro_filter ()
     else []
@@ -875,10 +1051,10 @@ let () =
     (* flush: write_metrics_json prints via Printf, a different buffer *)
     Format.pp_print_newline Format.std_formatter ()
   end;
-  write_metrics_json ?serve ~jobs ~profile runs
+  write_metrics_json ?serve ?sparsify ~jobs ~profile runs
     (Option.value o.mpath ~default:"bench-metrics.json");
   let rev = Option.value o.rev ~default:(History.default_rev ()) in
-  let entry = history_entry ?serve ~rev ~jobs ~profile micro_rows runs in
+  let entry = history_entry ?serve ?sparsify ~rev ~jobs ~profile micro_rows runs in
   (* --quick runs are the CI-tracked configuration, so they always append
      to the history; otherwise history is opt-in via --history-out *)
   (match

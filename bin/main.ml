@@ -18,6 +18,7 @@ open Cmdliner
 open Kecss_graph
 open Kecss_connectivity
 open Kecss_core
+module Sparsify = Kecss_sparsify.Sparsify
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                    *)
@@ -56,6 +57,47 @@ let apply_jobs = function
     Kecss_par.Pool.set_default_jobs j;
     Ok ()
   | Some _ -> Error "--jobs must be >= 1"
+
+let sparsify_arg =
+  let doc =
+    "Sparsify the input before solving: $(docv) is 'cert' (Thurimella \
+     sparse certificate, ≤ k(n−1) edges, the default) or 'spanner' \
+     (k edge-disjoint Baswana–Sen (2k−1)-spanner layers, weight-aware). \
+     The final solution is lifted back to, and verified against, the \
+     original graph."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "cert") (some string) None
+    & info [ "sparsify" ] ~docv:"MODE" ~doc)
+
+let parse_sparsify = function
+  | None -> Ok None
+  | Some s -> (
+    match Sparsify.mode_of_string s with
+    | Some m -> Ok (Some m)
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown sparsify mode %S (expected 'spanner' or 'cert')" s))
+
+(* the connectivity the chosen algorithm actually targets, needed before
+   the solver runs so the sparsifier preserves the right k *)
+let algo_k ~algo ~k =
+  match algo with
+  | "2ecss" -> 2
+  | "3ecss-unweighted" | "3ecss-weighted" -> 3
+  | "ftmst" -> 1
+  | _ -> k
+
+let report_sparsify ppf sp =
+  Format.fprintf ppf "sparsify(%s): edges %d -> %d (%.1f%% retained), rounds %d@."
+    (Sparsify.mode_to_string sp.Sparsify.mode)
+    sp.Sparsify.edges_in sp.Sparsify.edges_out
+    (100.0
+    *. float_of_int sp.Sparsify.edges_out
+    /. float_of_int (max 1 sp.Sparsify.edges_in))
+    sp.Sparsify.rounds
 
 (* ------------------------------------------------------------------ *)
 (* telemetry plumbing                                                  *)
@@ -460,14 +502,17 @@ let run_algo ledger ~algo ~k ~seed g =
     | None -> failwith "graph is not k-edge-connected")
   | a -> failwith ("unknown algorithm: " ^ a)
 
-let solve path algo k seed jobs quiet faults trace_path trace_jsonl metrics_on
-    monitor_mode profile causal_on flight_path =
+let solve path algo k seed jobs quiet faults sparsify trace_path trace_jsonl
+    metrics_on monitor_mode profile causal_on flight_path =
   match apply_jobs jobs with
   | Error msg -> `Error (false, msg)
   | Ok () ->
   match parse_faults faults with
   | Error msg -> `Error (false, msg)
   | Ok plan ->
+  match parse_sparsify sparsify with
+  | Error msg -> `Error (false, msg)
+  | Ok sparsify_mode ->
   match read_graph path with
   | exception Sys_error msg -> `Error (false, "cannot read graph: " ^ msg)
   | g ->
@@ -492,7 +537,18 @@ let solve path algo k seed jobs quiet faults trace_path trace_jsonl metrics_on
     ignore (report_profile profile prof);
     ignore (monitor_verdict monitor_mode monitor)
   in
-  match run_algo ledger ~algo ~k ~seed g with
+  let sp =
+    Option.map
+      (fun mode ->
+        let sp =
+          Sparsify.run ~ledger (Rng.create ~seed) g ~k:(algo_k ~algo ~k) ~mode
+        in
+        if not quiet then report_sparsify Format.err_formatter sp;
+        sp)
+      sparsify_mode
+  in
+  let target = match sp with Some sp -> sp.Sparsify.sub | None -> g in
+  match run_algo ledger ~algo ~k ~seed target with
   | exception Failure msg -> `Error (false, msg)
   | exception Kecss_congest.Network.Did_not_quiesce { rounds; active; in_flight }
     ->
@@ -521,6 +577,9 @@ let solve path algo k seed jobs quiet faults trace_path trace_jsonl metrics_on
     flush_on_fault ();
     `Error (false, "solver failed under the fault plan: " ^ Printexc.to_string e)
   | k, sol, rounds ->
+  (* lift a sparsified solution back to original edge ids: verification
+     and the printed subgraph are always against the input graph *)
+  let sol = match sp with Some sp -> Sparsify.lift sp sol | None -> sol in
   match flush_sinks trace_path trace_jsonl metrics_on trace metrics (Some ledger) with
   | exception Sys_error msg -> `Error (false, "cannot write trace: " ^ msg)
   | () ->
@@ -560,8 +619,8 @@ let solve_cmd =
     Term.(
       ret
         (const solve $ graph_arg $ algo $ k_arg $ seed_arg $ jobs_arg $ quiet
-       $ faults_arg $ trace_arg $ trace_jsonl_arg $ metrics_arg $ monitor_arg
-       $ profile_arg $ causal_arg $ flight_dump_arg))
+       $ faults_arg $ sparsify_arg $ trace_arg $ trace_jsonl_arg $ metrics_arg
+       $ monitor_arg $ profile_arg $ causal_arg $ flight_dump_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -821,8 +880,8 @@ let audit_cmd =
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let experiment ids list_only jobs faults trace_path trace_jsonl metrics_on
-    monitor_mode profile causal_on =
+let experiment ids list_only jobs faults sparsify trace_path trace_jsonl
+    metrics_on monitor_mode profile causal_on =
   let module E = Kecss_experiments.Experiments in
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-14s %s\n" e.E.id e.E.title) E.all;
@@ -835,6 +894,10 @@ let experiment ids list_only jobs faults trace_path trace_jsonl metrics_on
     match parse_faults faults with
     | Error msg -> `Error (false, msg)
     | Ok plan ->
+    match parse_sparsify sparsify with
+    | Error msg -> `Error (false, msg)
+    | Ok sparsify_mode ->
+    Option.iter (fun m -> E.set_sparsify_modes [ m ]) sparsify_mode;
     let trace, metrics, monitor =
       make_sinks trace_path trace_jsonl metrics_on monitor_mode
     in
@@ -993,9 +1056,9 @@ let experiment_cmd =
          ])
     Term.(
       ret
-        (const experiment $ ids $ list_only $ jobs_arg $ faults_arg $ trace_arg
-       $ trace_jsonl_arg $ metrics_arg $ monitor_arg $ profile_arg
-       $ causal_arg))
+        (const experiment $ ids $ list_only $ jobs_arg $ faults_arg
+       $ sparsify_arg $ trace_arg $ trace_jsonl_arg $ metrics_arg
+       $ monitor_arg $ profile_arg $ causal_arg))
 
 (* ------------------------------------------------------------------ *)
 (* resilience                                                          *)
@@ -1240,10 +1303,12 @@ let serve_run graph_path k seed jobs stdio socket quiet =
     else
       match Server.address_of_string socket with
       | Error m -> `Error (false, m)
-      | Ok addr ->
-        Server.listen ~log srv addr;
-        finish ();
-        `Ok ())
+      | Ok addr -> (
+        match Server.listen ~log srv addr with
+        | exception Failure msg -> `Error (false, msg)
+        | () ->
+          finish ();
+          `Ok ()))
 
 let serve_cmd =
   let stdio =

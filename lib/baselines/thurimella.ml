@@ -18,15 +18,24 @@ let spanning_forest g avail =
     g;
   forest
 
-let sparse_certificate ?ledger rng g ~k =
+let sparse_certificate ?ledger ?per_phase rng g ~k =
   let ledger = match ledger with Some l -> l | None -> Rounds.create () in
   Rounds.scoped ledger "thurimella" @@ fun () ->
   if k < 1 then invalid_arg "Thurimella.sparse_certificate: k must be >= 1";
-  (* measured cost of one distributed forest computation (an unweighted
-     MST), charged once per phase *)
-  let probe = Rounds.create () in
-  ignore (Mst.run probe (Rng.split rng) (Graph.unit_weights g));
-  let per_phase = Rounds.total probe in
+  (* per-phase round cost of one distributed forest computation: either
+     supplied analytically by the caller, or measured by executing the
+     message-level unweighted MST once *)
+  let per_phase =
+    match per_phase with
+    | Some r ->
+      if r < 0 then
+        invalid_arg "Thurimella.sparse_certificate: per_phase must be >= 0";
+      r
+    | None ->
+      let probe = Rounds.create () in
+      ignore (Mst.run probe (Rng.split rng) (Graph.unit_weights g));
+      Rounds.total probe
+  in
   let avail = Graph.all_edges_mask g in
   let solution = Graph.no_edges_mask g in
   let forests = ref [] in

@@ -25,6 +25,10 @@ val set_shared_sinks :
     series and table rows keep canonical workload order — byte-identical
     to a sequential run. Defaults to the noop sinks. *)
 
+val set_sparsify_modes : Kecss_sparsify.Sparsify.mode list -> unit
+(** Restrict the S-sparsify density sweep to the given modes (the CLI's
+    [experiment --sparsify MODE]). Default: both modes. *)
+
 type exp = {
   id : string;          (** e.g. "T1.1-rounds" *)
   title : string;

@@ -9,14 +9,25 @@ let to_string g =
   to_buffer buf g;
   Buffer.contents buf
 
+(* exactly "c" or "c <text>" — a record kind, not any line whose first
+   letter happens to be c *)
+let is_comment line =
+  line = "c" || (String.length line >= 2 && line.[0] = 'c' && line.[1] = ' ')
+
 let of_lines lines =
   let header = ref None in
   let edges = ref [] in
+  let seen = Hashtbl.create 64 in
   List.iteri
     (fun lineno line ->
-      let fail msg = failwith (Printf.sprintf "Io.of_string: line %d: %s" (lineno + 1) msg) in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            failwith (Printf.sprintf "Io.of_string: line %d: %s" (lineno + 1) msg))
+          fmt
+      in
       let line = String.trim line in
-      if line = "" || line.[0] = 'c' then ()
+      if line = "" || is_comment line then ()
       else
         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
         | [ "p"; "kecss"; n; m ] -> begin
@@ -24,13 +35,24 @@ let of_lines lines =
           | Some _ -> fail "duplicate header"
           | None -> (
             match int_of_string_opt n, int_of_string_opt m with
-            | Some n, Some m -> header := Some (n, m)
+            | Some n, Some m when n > 0 && m >= 0 -> header := Some (n, m)
             | _ -> fail "bad header numbers")
         end
         | [ "e"; u; v; w ] -> begin
-          match int_of_string_opt u, int_of_string_opt v, int_of_string_opt w with
-          | Some u, Some v, Some w -> edges := (u, v, w) :: !edges
-          | _ -> fail "bad edge numbers"
+          match !header with
+          | None -> fail "edge line before the p kecss header"
+          | Some (n, _) -> (
+            match int_of_string_opt u, int_of_string_opt v, int_of_string_opt w with
+            | Some u, Some v, Some w ->
+              if u < 0 || u >= n then fail "endpoint %d out of range [0, %d)" u n;
+              if v < 0 || v >= n then fail "endpoint %d out of range [0, %d)" v n;
+              if u = v then fail "self-loop at vertex %d" u;
+              if w < 0 then fail "negative weight %d" w;
+              let key = if u < v then (u, v) else (v, u) in
+              if Hashtbl.mem seen key then fail "duplicate edge %d %d" u v;
+              Hashtbl.add seen key ();
+              edges := (u, v, w) :: !edges
+            | _ -> fail "bad edge numbers")
         end
         | _ -> fail "unrecognized line")
     lines;

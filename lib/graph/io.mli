@@ -1,13 +1,18 @@
 (** Plain-text serialization of graphs.
 
     Format: a header line [p kecss <n> <m>] followed by [m] lines
-    [e <u> <v> <w>] (a DIMACS-inspired dialect).  Lines starting with [c]
-    are comments.  Edge order, and hence edge ids, round-trip exactly. *)
+    [e <u> <v> <w>] (a DIMACS-inspired dialect).  Comment lines are
+    exactly [c] or [c <text>] — not arbitrary lines whose first letter is
+    c.  Edge order, and hence edge ids, round-trip exactly. *)
 
 val to_string : Graph.t -> string
 
 val of_string : string -> Graph.t
-(** Raises [Failure] with a line-numbered message on malformed input. *)
+(** Raises [Failure] with a line-numbered message on malformed input.
+    Malformed includes structural errors caught at parse time: an edge
+    line before the header, an endpoint outside [\[0, n)], a self-loop, a
+    negative weight, a duplicate edge, or an edge count that contradicts
+    the header. *)
 
 val to_channel : out_channel -> Graph.t -> unit
 val of_channel : in_channel -> Graph.t

@@ -501,6 +501,16 @@ let session_over_fd t fd =
   in
   run_session t ~read ~write
 
+(* a stale socket file from a dead server may be reclaimed; anything else
+   at the path (a typoed --socket hitting a regular file, say) must never
+   be silently deleted *)
+let unlink_if_socket ~on_other path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> on_other ()
+
 (* accept loop: sessions are served one at a time (parallelism lives
    inside the handlers, on the lib/par pool); returns once a session
    handled a shutdown request. Socket errors on one connection are
@@ -509,7 +519,10 @@ let listen ?(log = ignore) t addr =
   let sock =
     match addr with
     | Unix_socket path ->
-      if Sys.file_exists path then Unix.unlink path;
+      unlink_if_socket path ~on_other:(fun () ->
+          failwith
+            (Printf.sprintf
+               "refusing to bind %s: the path exists and is not a socket" path));
       Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
     | Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
   in
@@ -518,9 +531,7 @@ let listen ?(log = ignore) t addr =
     ~finally:(fun () ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
       match addr with
-      | Unix_socket path ->
-        (try if Sys.file_exists path then Unix.unlink path
-         with Sys_error _ -> ())
+      | Unix_socket path -> unlink_if_socket path ~on_other:(fun () -> ())
       | Tcp _ -> ())
     (fun () ->
       Unix.bind sock (resolve_sockaddr addr);

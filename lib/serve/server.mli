@@ -77,7 +77,10 @@ val listen : ?log:(string -> unit) -> t -> address -> unit
 (** Bind, then serve connections sequentially until a session handles a
     [shutdown] request. Per-connection errors are logged and the loop
     continues. The socket (and a unix socket path) is cleaned up on
-    exit. *)
+    exit. A stale unix socket file at the path is reclaimed before
+    binding, but if something that is {e not} a socket already exists
+    there, [listen] raises [Failure] without touching it — the same guard
+    protects the cleanup path. *)
 
 val run_stdio : t -> unit
 (** One session over stdin/stdout — the [--stdio] transport. *)

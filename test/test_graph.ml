@@ -308,6 +308,31 @@ let gen_tests =
               (((k * n) + 1) / 2)
               (Graph.m (Gen.harary k n)))
           [ (2, 9); (3, 10); (3, 11); (4, 11); (5, 12); (5, 13) ]);
+    case "harary is exactly k-edge-connected" (fun () ->
+        (* locks in the audit of the odd-k constructions: every parity
+           quadrant, including the odd-k/odd-n corner where the chord
+           endpoints are the delicate part.  lambda is clamped at k+1 so
+           the equality also rules out overshooting. *)
+        let check k n =
+          let g = Gen.harary k n in
+          check_int
+            (Printf.sprintf "edges H_{%d,%d}" k n)
+            (((k * n) + 1) / 2)
+            (Graph.m g);
+          check_int
+            (Printf.sprintf "lambda H_{%d,%d}" k n)
+            k
+            (Kecss_connectivity.Edge_connectivity.lambda ~upper:(k + 1) g)
+        in
+        for n = 4 to 24 do
+          for k = 2 to min (n - 1) 8 do
+            check k n
+          done
+        done;
+        (* odd k, odd n, larger instances *)
+        List.iter
+          (fun n -> List.iter (fun k -> check k n) [ 3; 5; 7; 9 ])
+          [ 25; 33; 41; 49; 63 ]);
     case "generated families are connected" (fun () ->
         List.iter
           (fun (name, g) -> check_is (name ^ " connected") (Graph.is_connected g))
@@ -344,6 +369,20 @@ let gen_tests =
                Hashtbl.replace seen key ();
                ok && fresh)
              g true));
+    qcheck
+      (QCheck.Test.make ~name:"random_k_connected has min degree >= k"
+         ~count:40
+         QCheck.(triple (int_bound 100_000) (int_range 6 30) (int_range 2 4))
+         (fun (seed, n, k) ->
+           let rng = Rng.create ~seed in
+           let g = Gen.random_k_connected rng n k ~extra:4 in
+           let deg = Array.make n 0 in
+           Graph.iter_edges
+             (fun e ->
+               deg.(e.Graph.u) <- deg.(e.Graph.u) + 1;
+               deg.(e.Graph.v) <- deg.(e.Graph.v) + 1)
+             g;
+           Array.for_all (fun d -> d >= k) deg));
   ]
 
 (* ---------- Weights ---------- *)
@@ -407,6 +446,38 @@ let io_tests =
             "p kecss x 1\ne 0 1 2\n";
             "p kecss 3 1\nbogus\n";
           ]);
+    case "parse errors carry line numbers and reasons" (fun () ->
+        let expect input msg =
+          match Io.of_string input with
+          | exception Failure m -> Alcotest.(check string) input msg m
+          | _ -> Alcotest.fail ("should have raised: " ^ input)
+        in
+        expect "p kecss 0 0\n" "Io.of_string: line 1: bad header numbers";
+        expect "e 0 1 2\n"
+          "Io.of_string: line 1: edge line before the p kecss header";
+        expect "p kecss 3 1\ne 0 3 1\n"
+          "Io.of_string: line 2: endpoint 3 out of range [0, 3)";
+        expect "p kecss 3 1\ne -1 2 1\n"
+          "Io.of_string: line 2: endpoint -1 out of range [0, 3)";
+        expect "p kecss 3 1\ne 1 1 1\n"
+          "Io.of_string: line 2: self-loop at vertex 1";
+        expect "p kecss 3 1\ne 0 1 -2\n"
+          "Io.of_string: line 2: negative weight -2";
+        expect "p kecss 3 2\ne 0 1 1\ne 1 0 4\n"
+          "Io.of_string: line 3: duplicate edge 1 0";
+        expect "p kecss 3 1\ne 0 1 1\ntrailing garbage\n"
+          "Io.of_string: line 3: unrecognized line");
+    case "comment detection is exact" (fun () ->
+        (* only "c" or "c <text>" is a comment; a line that merely starts
+           with the letter c used to be silently swallowed *)
+        check_int "bare c" 1 (Graph.m (Io.of_string "c\np kecss 2 1\ne 0 1 1\n"));
+        check_int "c with text" 1
+          (Graph.m (Io.of_string "c 1 2\np kecss 2 1\ne 0 1 1\n"));
+        match Io.of_string "cost 3\np kecss 2 1\ne 0 1 1\n" with
+        | exception Failure m ->
+          Alcotest.(check string) "cost rejected"
+            "Io.of_string: line 1: unrecognized line" m
+        | _ -> Alcotest.fail "a 'cost ...' line must not parse as a comment");
     case "dot output mentions highlights" (fun () ->
         let g = Gen.cycle 4 in
         let hl = Bitset.of_list (Graph.m g) [ 1 ] in

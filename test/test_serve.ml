@@ -370,8 +370,39 @@ let test_stats_latency_optin () =
       (List.mem_assoc "verify" fields)
   | _ -> Alcotest.fail "timing:true must include latency"
 
+let test_listen_refuses_non_socket () =
+  (* regression: listen used to unlink whatever existed at the unix socket
+     path before binding.  A regular file must survive and fail the bind. *)
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let path = Filename.temp_file "kecss_serve_guard" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "precious";
+      close_out oc;
+      let srv = Server.create (Gen.cycle 6) ~k:2 in
+      (match Server.listen srv (Server.Unix_socket path) with
+      | exception Failure msg ->
+        Alcotest.(check bool) "error names the conflict" true
+          (contains msg "not a socket" && contains msg path)
+      | () -> Alcotest.fail "listen must refuse a non-socket path");
+      Alcotest.(check bool) "file still exists" true (Sys.file_exists path);
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "content untouched" "precious" content)
+
 let server_tests =
   [
+    case "listen refuses to clobber a non-socket path"
+      test_listen_refuses_non_socket;
     case "session answers every request kind" test_session_basic;
     case "bad requests answer ok:false and the session continues"
       test_session_errors_then_continue;
