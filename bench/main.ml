@@ -172,9 +172,29 @@ let hot_tests ?filter () =
     in
     stage (fun () -> ignore (Network.run_counted ~pool g program))
   in
+  (* the flat-core rows: the generator building through Graph.of_arrays,
+     the binary decode path, and the unweighted 2-ECSS solve end to end *)
+  let gen_hot n =
+    stage (fun () ->
+        ignore (Gen.random_k_connected (Rng.create ~seed:42) n 2 ~extra:n))
+  in
+  let ecss2u_hot n =
+    let g = Graph.unit_weights (W.weighted_random ~n ~k:2) in
+    stage (fun () -> ignore (Ecss2_unweighted.solve g))
+  in
+  let bin_decode_hot n =
+    let s =
+      Io.to_binary_string
+        (Gen.random_k_connected (Rng.create ~seed:42) n 2 ~extra:n)
+    in
+    stage (fun () -> ignore (Io.of_binary_string s))
+  in
   List.filter_map
     (fun (name, mk) -> if keep name then Some (Test.make ~name (mk ())) else None)
     [
+      ("hot/gen-n4096", fun () -> gen_hot 4096);
+      ("hot/ecss2u-n4096", fun () -> ecss2u_hot 4096);
+      ("hot/bin-decode-n4096", fun () -> bin_decode_hot 4096);
       ("hot/tap-aug-n2048", fun () -> tap_hot 2048);
       ("hot/tap-aug-n4096", fun () -> tap_hot 4096);
       ("hot/augk-k3-n96", fun () -> augk_hot 96 ~k:3);
@@ -715,6 +735,156 @@ let sparsify_history_rows sx =
        sx.sx_runs
 
 (* ------------------------------------------------------------------ *)
+(* scale tier: the flat-core pipeline at sweep sizes                   *)
+(* ------------------------------------------------------------------ *)
+
+type scale_row = {
+  sc_n : int;
+  sc_m : int;
+  sc_gen_ns : float; (* seeded generation through Graph.of_arrays *)
+  sc_encode_ns : float; (* kecss-bin/1 encode *)
+  sc_decode_ns : float; (* kecss-bin/1 decode — the binary load path *)
+  sc_parse_ns : float; (* text parse of the same graph *)
+  sc_solve_ns : float; (* unweighted 2-ECSS end to end *)
+  sc_solve_words : float; (* words allocated by the solve, at jobs = 1 *)
+  sc_rounds : int;
+  sc_messages : int;
+  sc_edges : int; (* solution edges *)
+}
+
+(* Each sweep size runs the whole million-vertex pipeline once:
+   generate -> binary encode/decode (checked against the text codec) ->
+   solve -> verify.  Everything is seeded and forced to jobs = 1, so the
+   rounds/messages/allocated_words rows are deterministic and the tier
+   hard-fails on any codec mismatch or verification failure. *)
+let run_scale_tier ~ns =
+  let saved = Kecss_par.Pool.default_jobs () in
+  Kecss_par.Pool.set_default_jobs 1;
+  Fun.protect
+    ~finally:(fun () -> Kecss_par.Pool.set_default_jobs saved)
+  @@ fun () ->
+  let time f =
+    let t0 = Kecss_obs.Prof.now_ns () in
+    let r = f () in
+    (r, Kecss_obs.Prof.now_ns () -. t0)
+  in
+  List.map
+    (fun n ->
+      let g, gen_ns =
+        time (fun () ->
+            Gen.random_k_connected (Rng.create ~seed:42) n 2 ~extra:n)
+      in
+      let bin, encode_ns = time (fun () -> Io.to_binary_string g) in
+      let g2, decode_ns = time (fun () -> Io.of_binary_string bin) in
+      let txt = Io.to_string g in
+      let g3, parse_ns = time (fun () -> Io.of_string txt) in
+      if Io.to_string g2 <> txt || Io.to_string g3 <> txt then
+        failwith
+          (Printf.sprintf "scale tier: n=%d codec round-trip mismatch" n);
+      let ledger = Rounds.create () in
+      Gc.full_major ();
+      let a0 = Kecss_obs.Prof.allocated_words () in
+      let r, solve_ns =
+        time (fun () -> Ecss2_unweighted.solve_with ledger g)
+      in
+      Gc.full_major ();
+      let solve_words = Kecss_obs.Prof.allocated_words () -. a0 in
+      let h = r.Ecss2_unweighted.h in
+      let report = Kecss_connectivity.Verify.check_kecss ~cap:2 g h ~k:2 in
+      if not report.Kecss_connectivity.Verify.ok then
+        failwith
+          (Printf.sprintf "scale tier: n=%d solution failed verification" n);
+      {
+        sc_n = n;
+        sc_m = Graph.m g;
+        sc_gen_ns = gen_ns;
+        sc_encode_ns = encode_ns;
+        sc_decode_ns = decode_ns;
+        sc_parse_ns = parse_ns;
+        sc_solve_ns = solve_ns;
+        sc_solve_words = solve_words;
+        sc_rounds = Rounds.total ledger;
+        sc_messages = Rounds.total_messages ledger;
+        sc_edges = Bitset.cardinal h;
+      })
+    ns
+
+let print_scale_tier rows =
+  print_newline ();
+  print_endline
+    "################ S-scale — generate/codec/solve n-sweep (jobs=1)";
+  print_endline
+    "# unweighted 2-ECSS through the binary codec, verified at every size";
+  print_newline ();
+  Printf.printf "%8s %9s %9s %9s %9s %9s %10s %12s %8s %10s %9s\n" "n" "m"
+    "gen" "encode" "decode" "parse" "solve" "alloc-words" "rounds" "messages"
+    "edges";
+  Printf.printf "%s\n" (String.make 112 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%8d %9d %9s %9s %9s %9s %10s %12.0f %8d %10d %9d\n"
+        r.sc_n r.sc_m
+        (History.pretty_ns r.sc_gen_ns)
+        (History.pretty_ns r.sc_encode_ns)
+        (History.pretty_ns r.sc_decode_ns)
+        (History.pretty_ns r.sc_parse_ns)
+        (History.pretty_ns r.sc_solve_ns)
+        r.sc_solve_words r.sc_rounds r.sc_messages r.sc_edges)
+    rows;
+  (match rows with
+  | r :: _ when r.sc_decode_ns > 0.0 ->
+    Printf.printf "# binary decode vs text parse at n=%d: %.1fx\n" r.sc_n
+      (r.sc_parse_ns /. r.sc_decode_ns)
+  | _ -> ());
+  flush stdout
+
+let scale_json rows =
+  let module Obs = Kecss_obs in
+  Obs.Json.List
+    (List.map
+       (fun r ->
+         Obs.Json.Obj
+           [
+             ("n", Obs.Json.Int r.sc_n);
+             ("m", Obs.Json.Int r.sc_m);
+             ("gen_ns", Obs.Json.Float r.sc_gen_ns);
+             ("encode_ns", Obs.Json.Float r.sc_encode_ns);
+             ("decode_ns", Obs.Json.Float r.sc_decode_ns);
+             ("parse_ns", Obs.Json.Float r.sc_parse_ns);
+             ("solve_ns", Obs.Json.Float r.sc_solve_ns);
+             ("solve_allocated_words", Obs.Json.Float r.sc_solve_words);
+             ("rounds", Obs.Json.Int r.sc_rounds);
+             ("messages", Obs.Json.Int r.sc_messages);
+             ("solution_edges", Obs.Json.Int r.sc_edges);
+           ])
+       rows)
+
+(* growth-is-bad rows, so History.compare's REGRESSION judgement applies
+   directly; rounds/messages/alloc-words are deterministic at jobs = 1
+   and gate CI, the ns rows are wall-clock and only tracked locally like
+   the micros (CI runs --no-micro, which drops them here too) *)
+let scale_history_rows ~wallclock rows =
+  List.concat_map
+    (fun r ->
+      (if wallclock then
+         [
+           (Printf.sprintf "scale/gen-n%d" r.sc_n, r.sc_gen_ns);
+           (Printf.sprintf "scale/load-binary-n%d" r.sc_n, r.sc_decode_ns);
+           (Printf.sprintf "scale/parse-text-n%d" r.sc_n, r.sc_parse_ns);
+           (Printf.sprintf "scale/solve-n%d" r.sc_n, r.sc_solve_ns);
+         ]
+       else [])
+      @ [
+          ( Printf.sprintf "scale/solve-n%d-allocwords" r.sc_n,
+            r.sc_solve_words );
+          ( Printf.sprintf "scale/solve-n%d-rounds" r.sc_n,
+            float_of_int r.sc_rounds );
+          ( Printf.sprintf "scale/solve-n%d-messages" r.sc_n,
+            float_of_int r.sc_messages );
+        ])
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* metrics JSON                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -815,7 +985,7 @@ let profile_json ~jobs ~pool_stats:(pairs, lifetime_ns) prof =
   in
   Obs.Json.Obj (("pool", pool_json) :: spans)
 
-let write_metrics_json ?serve ?sparsify ~jobs ~profile runs path =
+let write_metrics_json ?serve ?sparsify ?scale ~jobs ~profile runs path =
   let module Obs = Kecss_obs in
   let categories kvs =
     Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs)
@@ -854,10 +1024,13 @@ let write_metrics_json ?serve ?sparsify ~jobs ~profile runs path =
       @ (match serve with
         | None -> []
         | Some sv -> [ ("serve", serve_json sv) ])
+      @ (match sparsify with
+        | None -> []
+        | Some sx -> [ ("sparsify", sparsify_json sx) ])
       @
-      match sparsify with
+      match scale with
       | None -> []
-      | Some sx -> [ ("sparsify", sparsify_json sx) ])
+      | Some rows -> [ ("scale", scale_json rows) ])
   in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
@@ -865,7 +1038,8 @@ let write_metrics_json ?serve ?sparsify ~jobs ~profile runs path =
   close_out oc;
   Printf.printf "telemetry for representative solves -> %s\n" path
 
-let history_entry ?serve ?sparsify ~rev ~jobs ~profile micro_rows runs =
+let history_entry ?serve ?sparsify ?scale ~scale_wallclock ~rev ~jobs ~profile
+    micro_rows runs =
   {
     History.rev;
     jobs;
@@ -874,10 +1048,13 @@ let history_entry ?serve ?sparsify ~rev ~jobs ~profile micro_rows runs =
         (fun (_, ns) -> not (Float.is_nan ns))
         (micro_rows
         @ (match serve with None -> [] | Some sv -> serve_history_rows sv)
+        @ (match sparsify with
+          | None -> []
+          | Some sx -> sparsify_history_rows sx)
         @
-        match sparsify with
+        match scale with
         | None -> []
-        | Some sx -> sparsify_history_rows sx);
+        | Some rows -> scale_history_rows ~wallclock:scale_wallclock rows);
     experiments =
       List.map
         (fun rr ->
@@ -1033,6 +1210,17 @@ let () =
       Some sx
     end
   in
+  let scale =
+    if o.micro_only then None
+    else begin
+      let ns =
+        if o.quick then [ 16384; 65536 ] else [ 16384; 65536; 262144 ]
+      in
+      let rows = run_scale_tier ~ns in
+      print_scale_tier rows;
+      Some rows
+    end
+  in
   let micro_rows =
     if (not o.no_micro) || o.micro_only then run_micro ?filter:o.micro_filter ()
     else []
@@ -1051,10 +1239,14 @@ let () =
     (* flush: write_metrics_json prints via Printf, a different buffer *)
     Format.pp_print_newline Format.std_formatter ()
   end;
-  write_metrics_json ?serve ?sparsify ~jobs ~profile runs
+  write_metrics_json ?serve ?sparsify ?scale ~jobs ~profile runs
     (Option.value o.mpath ~default:"bench-metrics.json");
   let rev = Option.value o.rev ~default:(History.default_rev ()) in
-  let entry = history_entry ?serve ?sparsify ~rev ~jobs ~profile micro_rows runs in
+  let entry =
+    history_entry ?serve ?sparsify ?scale
+      ~scale_wallclock:((not o.no_micro) || o.micro_only)
+      ~rev ~jobs ~profile micro_rows runs
+  in
   (* --quick runs are the CI-tracked configuration, so they always append
      to the history; otherwise history is opt-in via --history-out *)
   (match

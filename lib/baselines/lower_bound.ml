@@ -4,8 +4,7 @@ let degree g ~k =
   let total = ref 0 in
   for v = 0 to Graph.n g - 1 do
     let ws =
-      Array.to_list (Graph.adj g v)
-      |> List.map (fun (_, id) -> Graph.weight g id)
+      Graph.fold_adj g v (fun acc _ id -> Graph.weight g id :: acc) []
       |> List.sort compare
     in
     if List.length ws < k then

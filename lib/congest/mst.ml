@@ -84,17 +84,21 @@ let part1 ledger rng g ~cap ~bfs_forest =
     let head v = st.capped.(v) || coin.(v) in
     let inboxes =
       Prim.exchange ledger g (fun v ->
-          Array.to_list (Graph.adj g v)
-          |> List.map (fun (_, id) ->
-                 {
-                   Network.edge = id;
-                   payload =
-                     [|
-                       st.fid.(v);
-                       (if head v then 1 else 0);
-                       (if st.capped.(v) then 1 else 0);
-                     |];
-                 }))
+          let sends = ref [] in
+          for i = Graph.degree g v - 1 downto 0 do
+            sends :=
+              {
+                Network.edge = Graph.adj_eid_at g v i;
+                payload =
+                  [|
+                    st.fid.(v);
+                    (if head v then 1 else 0);
+                    (if st.capped.(v) then 1 else 0);
+                  |];
+              }
+              :: !sends
+          done;
+          !sends)
     in
     (* per-vertex minimum outgoing candidate *)
     let candidate v =
@@ -128,7 +132,7 @@ let part1 ledger rng g ~cap ~bfs_forest =
     List.iter
       (fun (r, moe) ->
         let eid = moe.(1) and target_fid = moe.(4) and target_capped = moe.(3) in
-        let a, b = Graph.endpoints g eid in
+        let a = Graph.edge_u g eid and b = Graph.edge_v g eid in
         let u = if st.fid.(a) = r then a else b in
         assert (st.fid.(u) = r && st.fid.(Graph.other_end g eid u) <> r);
         Bitset.add st.mst eid;
@@ -186,9 +190,13 @@ let part2 ledger g ~bfs_forest (st : part1) =
       ~fragments:(distinct_count fid);
     let inboxes =
       Prim.exchange ledger g (fun v ->
-          Array.to_list (Graph.adj g v)
-          |> List.map (fun (_, id) ->
-                 { Network.edge = id; payload = [| fid.(v) |] }))
+          let sends = ref [] in
+          for i = Graph.degree g v - 1 downto 0 do
+            sends :=
+              { Network.edge = Graph.adj_eid_at g v i; payload = [| fid.(v) |] }
+              :: !sends
+          done;
+          !sends)
     in
     let emit v =
       let best =
@@ -211,7 +219,7 @@ let part2 ledger g ~bfs_forest (st : part1) =
       (fun (k, payload) ->
         let eid = payload.(1) in
         Hashtbl.replace chosen eid ();
-        let a, b = Graph.endpoints g eid in
+        let a = Graph.edge_u g eid and b = Graph.edge_v g eid in
         let other = if fid.(a) = k then fid.(b) else fid.(a) in
         Union_find.union uf (Hashtbl.find idx k) (Hashtbl.find idx other)
         |> ignore)
@@ -261,7 +269,7 @@ let run ?cap ledger rng g =
   let global_edges =
     Bitset.fold
       (fun eid acc ->
-        let a, b = Graph.endpoints g eid in
+        let a = Graph.edge_u g eid and b = Graph.edge_v g eid in
         if fragment_id.(a) <> fragment_id.(b) then eid :: acc else acc)
       st.mst []
     |> List.sort compare

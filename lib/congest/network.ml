@@ -32,8 +32,34 @@ let stamp_scratch m =
 
 (* Below this many eligible vertices a round's step pass runs inline:
    batch submission costs a few µs and the engine may run tens of
-   thousands of passes, so tiny rounds must not pay it. *)
-let par_threshold = 512
+   thousands of passes, so tiny rounds must not pay it.  The default was
+   picked from the measured sweep in EXPERIMENTS.md ("Scaling"); override
+   per-process with [set_par_threshold] (the CLI's [--par-threshold]) or
+   the [KECSS_PAR_THRESHOLD] environment variable. *)
+let default_par_threshold = 512
+
+let env_par_threshold =
+  lazy
+    (match Sys.getenv_opt "KECSS_PAR_THRESHOLD" with
+    | None -> None
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some t when t >= 1 -> Some t
+      | _ -> None))
+
+let par_threshold_override = ref None
+
+let set_par_threshold t =
+  if t < 1 then invalid_arg "Network.set_par_threshold: must be >= 1";
+  par_threshold_override := Some t
+
+let par_threshold () =
+  match !par_threshold_override with
+  | Some t -> t
+  | None -> (
+    match Lazy.force env_par_threshold with
+    | Some t -> t
+    | None -> default_par_threshold)
 
 type send = { edge : int; payload : int array }
 type 'a inbox = (int * 'a) list
@@ -51,6 +77,54 @@ type 's program = {
   step :
     round:int -> int -> 's -> int array inbox -> send list * [ `Active | `Idle ];
 }
+
+(* In-place quicksort over a prefix of an int array (the newly delivered
+   segment of the next worklist).  Stdlib [Array.sort] has no range
+   variant and sorting a copy would allocate every pass. *)
+let sort_range a len =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec go lo hi =
+    (* [lo, hi) *)
+    if hi - lo > 1 then
+      if hi - lo <= 16 then
+        for i = lo + 1 to hi - 1 do
+          let x = a.(i) in
+          let j = ref (i - 1) in
+          while !j >= lo && a.(!j) > x do
+            a.(!j + 1) <- a.(!j);
+            decr j
+          done;
+          a.(!j + 1) <- x
+        done
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        if a.(mid) < a.(lo) then swap mid lo;
+        if a.(hi - 1) < a.(lo) then swap (hi - 1) lo;
+        if a.(hi - 1) < a.(mid) then swap (hi - 1) mid;
+        let pivot = a.(mid) in
+        let i = ref lo and j = ref (hi - 1) in
+        while !i <= !j do
+          while a.(!i) < pivot do
+            incr i
+          done;
+          while a.(!j) > pivot do
+            decr j
+          done;
+          if !i <= !j then begin
+            swap !i !j;
+            incr i;
+            decr j
+          end
+        done;
+        go lo (!j + 1);
+        go !i hi
+      end
+  in
+  go 0 len
 
 let run_counted ?(metrics = Metrics.noop) ?(causal = Causal.noop)
     ?(flight = Flight.noop) ?hook ?(lazy_poll = false) ?max_rounds ?pool g p =
@@ -93,26 +167,61 @@ let run_counted ?(metrics = Metrics.noop) ?(causal = Causal.noop)
   let fobs = Flight.enabled flight in
   let inbox_ids : int list array = if cobs then Array.make n [] else [||] in
   let parent_ids : int list array = if cobs then Array.make n [] else [||] in
+  (* Worklist: the vertices a pass must consider, in ascending order.
+     Under [lazy_poll] a pass's candidates are exactly the vertices that
+     are active or hold a delivered message, and both ways of entering
+     that set are tracked — [`Active] steppers survive via the
+     set_active pass, message destinations via the delivery passes — so
+     instead of scanning all [n] vertices every pass (the old engine's
+     per-pass O(n) floor, fatal at n=10^6) the engine touches only the
+     frontier.  Without [lazy_poll] every vertex steps every pass and
+     the worklist stays the identity. *)
+  let work = Array.init n Fun.id in
+  let wl = ref n in
+  let surv = Array.make n 0 in
+  let sl = ref 0 in
+  let deliv = Array.make n 0 in
+  let dl = ref 0 in
+  let queued = Array.make n false in
+  (* pristine identity, blitted back over [work] after a dense pass *)
+  let identity = Array.init n Fun.id in
+  (* Once a pass has delivered to this many distinct vertices the next
+     worklist is within a constant of the identity, so tracking stops:
+     the rebuild becomes a blit and the next plan pass's
+     active-or-nonempty-inbox filter does the thinning — the delivered
+     set is discarded, never missed, because the identity covers it. *)
+  let dense = ref false in
+  let dense_cap = max 1 (n / 4) in
+  let enqueue_deliv v =
+    if lazy_poll && (not !dense) && not queued.(v) then begin
+      queued.(v) <- true;
+      deliv.(!dl) <- v;
+      incr dl;
+      if !dl >= dense_cap then begin
+        dense := true;
+        (* the flags of everything tracked so far are cleared by the
+           next plan pass (the identity worklist spans all vertices) *)
+        dl := 0
+      end
+    end
+  in
+  let pool_now = lazy (match pool with Some t -> t | None -> Pool.default ()) in
+  let threshold = par_threshold () in
   if cobs then Causal.run_begin causal;
   if fobs then Flight.ensure flight n;
   if observe then Metrics.run_begin metrics;
   while (!in_flight > 0 || !active_count > 0) && !round < max_rounds do
     (match hook with Some h -> h.round_begin ~round:!round | None -> ());
     if fobs then Flight.round_begin flight;
-    (* step pass: consume inboxes, collect sends.  Under [lazy_poll] the
-       caller guarantees that stepping an idle vertex with an empty inbox
-       is a no-op returning ([], `Idle), so such calls are elided.
-
-       The pass is split so it can shard across the pool without changing
-       anything observable.  A sequential plan pass keeps all hook calls
-       ([alive], like everything else hook-related) on the engine domain
-       in ascending vertex order; the step phase then touches only
-       vertex-owned cells ([states.(v)] by mutation, [statuses.(v)],
-       [sent.(v)]), so sharding it is invisible; and [set_active] — the
-       shared active count — is applied sequentially afterwards, again in
-       vertex order. *)
+    (* plan pass: sequential, ascending over the worklist, so all hook
+       calls ([alive], like everything else hook-related) happen on the
+       engine domain in the same order the old full scan produced *)
     let eligible = ref 0 in
-    for v = 0 to n - 1 do
+    sl := 0;
+    dl := 0;
+    for i = 0 to !wl - 1 do
+      let v = work.(i) in
+      queued.(v) <- false;
       if (not lazy_poll) || active.(v) || inboxes.(v) <> [] then begin
         let live =
           match hook with Some h -> h.alive ~round:!round v | None -> true
@@ -133,85 +242,123 @@ let run_counted ?(metrics = Metrics.noop) ?(causal = Causal.noop)
       end
       else statuses.(v) <- -1
     done;
-    let step_vertex v =
-      if statuses.(v) = 1 then begin
-        let sends, status = p.step ~round:!round v states.(v) inboxes.(v) in
-        statuses.(v) <- (if status = `Active then 2 else 0);
-        sent.(v) <- sends
-      end
+    (* step pass: consume inboxes, collect sends.  Each domain owns a
+       static contiguous slice of the worklist and writes the sends of
+       its vertices into their own [sent] mailbox cells; a task touches
+       only vertex-owned cells ([states.(v)] by mutation, [statuses.(v)],
+       [sent.(v)]), so the split is invisible.  [set_active] — the
+       shared active count — is applied sequentially afterwards, in
+       vertex order. *)
+    let wl_now = !wl in
+    let nshards =
+      if !eligible >= threshold && wl_now > 1 && not (Pool.in_task ()) then
+        min (Pool.jobs (Lazy.force pool_now)) wl_now
+      else 1
     in
-    if !eligible >= par_threshold then Pool.parallel_for ?pool n step_vertex
+    let step_slice lo hi =
+      for i = lo to hi - 1 do
+        let v = work.(i) in
+        if statuses.(v) = 1 then begin
+          let sends, status = p.step ~round:!round v states.(v) inboxes.(v) in
+          statuses.(v) <- (if status = `Active then 2 else 0);
+          sent.(v) <- sends
+        end
+      done
+    in
+    if nshards = 1 then step_slice 0 wl_now
     else
-      for v = 0 to n - 1 do
-        step_vertex v
-      done;
-    for v = 0 to n - 1 do
+      Pool.run_batch (Lazy.force pool_now) ~ntasks:nshards (fun d ->
+          step_slice (d * wl_now / nshards) ((d + 1) * wl_now / nshards));
+    for i = 0 to wl_now - 1 do
+      let v = work.(i) in
       if statuses.(v) >= 0 then begin
         let b = statuses.(v) = 2 in
-        if fobs && active.(v) <> b then Flight.on_active flight ~vertex:v ~active:b;
-        set_active v b
+        if fobs && active.(v) <> b then
+          Flight.on_active flight ~vertex:v ~active:b;
+        set_active v b;
+        if b && lazy_poll then begin
+          (* survivors enter the next worklist first, already ascending *)
+          queued.(v) <- true;
+          surv.(!sl) <- v;
+          incr sl
+        end
       end
     done;
-    (* all inboxes are consumed (skipped vertices had empty ones); reuse the
-       array for next round's deliveries *)
-    Array.fill inboxes 0 n [];
-    if cobs then Array.fill inbox_ids 0 n [];
+    (* all considered inboxes are consumed (skipped vertices had empty
+       ones, crash-stopped ones lose their deliveries); vertices outside
+       the worklist hold nothing by construction *)
+    for i = 0 to wl_now - 1 do
+      inboxes.(work.(i)) <- []
+    done;
+    if cobs then
+      for i = 0 to wl_now - 1 do
+        inbox_ids.(work.(i)) <- []
+      done;
     in_flight := 0;
-    for v = 0 to n - 1 do
+    (* delivery pass: sequential over the worklist — already ascending —
+       so the sender sequence is exactly that of the old full array
+       scan, whatever the pool size *)
+    for i = 0 to wl_now - 1 do
+      let v = work.(i) in
       match sent.(v) with
       | [] -> ()
       | sends ->
         sent.(v) <- [];
-        incr stamp;
-        (* persisted eagerly so a run aborted by an engine exception
-           cannot leave stale cells above the next run's stamps *)
-        scratch.last <- !stamp;
-        (* every message [v] sends this round was enabled by the same
-           inbox, so its parent set is interned once *)
-        let group =
-          if cobs then Causal.group causal ~parents:parent_ids.(v) else 0
-        in
-        List.iter
-          (fun { edge; payload } ->
-            let words = Array.length payload in
-            if words > cap_words then
-              raise (Message_too_large { vertex = v; words });
-            if used_stamp.(edge) = !stamp then
-              raise (Duplicate_send { vertex = v; edge });
-            used_stamp.(edge) <- !stamp;
-            let dst = Graph.other_end g edge v in
-            (* the sender spent its message budget whatever the network then
-               does with the copy: sends are counted before the hook rules *)
-            if observe then Metrics.on_send metrics ~edge;
-            incr messages;
-            let word = if words > 0 then payload.(0) else -1 in
-            if fobs then Flight.on_send flight ~vertex:v ~edge ~word;
-            let id =
-              if cobs then Causal.on_send causal ~src:v ~dst ~edge ~group
-              else -1
-            in
-            let deliver () =
-              inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
-              if cobs then inbox_ids.(dst) <- id :: inbox_ids.(dst);
-              if fobs then Flight.on_recv flight ~vertex:dst ~edge ~word;
-              incr in_flight
-            in
-            let fate =
-              match hook with
-              | Some h -> h.fate ~round:!round ~src:v ~edge
-              | None -> Deliver
-            in
-            match fate with
-            | Drop -> ()
-            | Deliver -> deliver ()
-            | Replicate copies ->
-              for _ = 1 to max 1 copies do
-                deliver ()
-              done
-            | Postpone extra when extra <= 0 -> deliver ()
-            | Postpone extra ->
-              delayed := (!round + 1 + extra, dst, edge, payload, id) :: !delayed)
-          sends
+        begin
+          incr stamp;
+          (* persisted eagerly so a run aborted by an engine exception
+             cannot leave stale cells above the next run's stamps *)
+          scratch.last <- !stamp;
+          (* every message [v] sends this round was enabled by the same
+             inbox, so its parent set is interned once *)
+          let group =
+            if cobs then Causal.group causal ~parents:parent_ids.(v) else 0
+          in
+          List.iter
+            (fun { edge; payload } ->
+              let words = Array.length payload in
+              if words > cap_words then
+                raise (Message_too_large { vertex = v; words });
+              if used_stamp.(edge) = !stamp then
+                raise (Duplicate_send { vertex = v; edge });
+              used_stamp.(edge) <- !stamp;
+              let dst = Graph.other_end g edge v in
+              (* the sender spent its message budget whatever the network
+                 then does with the copy: sends are counted before the
+                 hook rules *)
+              if observe then Metrics.on_send metrics ~edge;
+              incr messages;
+              let word = if words > 0 then payload.(0) else -1 in
+              if fobs then Flight.on_send flight ~vertex:v ~edge ~word;
+              let id =
+                if cobs then Causal.on_send causal ~src:v ~dst ~edge ~group
+                else -1
+              in
+              let deliver () =
+                inboxes.(dst) <- (edge, payload) :: inboxes.(dst);
+                if cobs then inbox_ids.(dst) <- id :: inbox_ids.(dst);
+                if fobs then Flight.on_recv flight ~vertex:dst ~edge ~word;
+                incr in_flight;
+                enqueue_deliv dst
+              in
+              let fate =
+                match hook with
+                | Some h -> h.fate ~round:!round ~src:v ~edge
+                | None -> Deliver
+              in
+              match fate with
+              | Drop -> ()
+              | Deliver -> deliver ()
+              | Replicate copies ->
+                for _ = 1 to max 1 copies do
+                  deliver ()
+                done
+              | Postpone extra when extra <= 0 -> deliver ()
+              | Postpone extra ->
+                delayed :=
+                  (!round + 1 + extra, dst, edge, payload, id) :: !delayed)
+            sends
+        end
     done;
     if !delayed <> [] then begin
       let due, future =
@@ -224,12 +371,57 @@ let run_counted ?(metrics = Metrics.noop) ?(causal = Causal.noop)
           if fobs then
             Flight.on_recv flight ~vertex:dst ~edge
               ~word:(if Array.length payload > 0 then payload.(0) else -1);
-          incr in_flight)
+          incr in_flight;
+          enqueue_deliv dst)
         due;
       delayed := future;
       (* a postponed message is still in flight: it must keep the engine
          from declaring quiescence until it lands *)
       in_flight := !in_flight + List.length future
+    end;
+    (* rebuild the worklist: survivors are already ascending; sort the
+       delivered segment and merge.  The two are disjoint ([queued]
+       dedups at insertion), so the merge is a plain two-pointer pass.
+       When the pass was dense — pipeline-style programs deliver to
+       nearly every vertex every pass — tracking has already been
+       abandoned; the worklist reverts to the identity by blit and the
+       next plan pass filters, exactly the old full-scan engine. *)
+    if lazy_poll then begin
+      if !dense then begin
+        dense := false;
+        Array.blit identity 0 work 0 n;
+        wl := n
+      end
+      else begin
+      sort_range deliv !dl;
+      let i = ref (!sl - 1) and j = ref (!dl - 1) in
+      let k = ref (!sl + !dl - 1) in
+      (* merge back to front so [work] can double as the target without
+         clobbering unread [surv]/[deliv] cells — both are separate
+         arrays, but back-to-front also keeps the loop branch-light *)
+      while !i >= 0 && !j >= 0 do
+        if surv.(!i) > deliv.(!j) then begin
+          work.(!k) <- surv.(!i);
+          decr i
+        end
+        else begin
+          work.(!k) <- deliv.(!j);
+          decr j
+        end;
+        decr k
+      done;
+      while !i >= 0 do
+        work.(!k) <- surv.(!i);
+        decr i;
+        decr k
+      done;
+      while !j >= 0 do
+        work.(!k) <- deliv.(!j);
+        decr j;
+        decr k
+      done;
+      wl := !sl + !dl
+      end
     end;
     incr round;
     (* In the synchronous model a vertex receives, at the end of round r,

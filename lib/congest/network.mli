@@ -30,6 +30,25 @@ exception
 val cap_words : int
 (** Maximum message size in words (an int payload cell = one word). *)
 
+val default_par_threshold : int
+(** Below this many eligible vertices a pass's step phase runs inline
+    instead of sharding across the pool (batch submission costs a few µs
+    and the engine may run tens of thousands of passes).  The default,
+    512, comes from the measured sweep recorded in EXPERIMENTS.md
+    ("Scaling"). *)
+
+val par_threshold : unit -> int
+(** The effective threshold: {!set_par_threshold} if called, else the
+    [KECSS_PAR_THRESHOLD] environment variable (ignored unless a
+    positive integer), else {!default_par_threshold}. *)
+
+val set_par_threshold : int -> unit
+(** Process-wide override (the CLI's [--par-threshold]); takes
+    precedence over the environment.  Raises [Invalid_argument] if the
+    value is [< 1].  Changing the threshold moves work between the
+    engine domain and the pool but never changes results — the
+    jobs-equality contract below covers every threshold. *)
+
 type send = { edge : int; payload : int array }
 (** A message to put on edge [edge] this round. *)
 
@@ -116,24 +135,30 @@ val run_counted :
     [?lazy_poll] (default [false]) is a promise by the caller that
     stepping a vertex which reported [`Idle] and has an empty inbox is a
     no-op returning [([], `Idle)] — true of every primitive in {!Prim}.
-    Under that promise the engine elides such step calls, making an
-    engine pass O(active + deliveries) instead of O(n).  Rounds, message
-    totals, inbox contents and final states are unaffected.  Programs
-    that send or mutate state in an idle step (e.g. purely round-driven
-    flooding) must keep the default.
+    Under that promise the engine maintains a worklist — the vertices
+    that are active or hold a delivered message, kept in ascending
+    order — and every per-pass phase walks the worklist instead of all
+    [n] vertices, making an engine pass O(active + deliveries) instead
+    of O(n).  Rounds, message totals, inbox contents and final states
+    are unaffected.  Programs that send or mutate state in an idle step
+    (e.g. purely round-driven flooding) must keep the default.
 
     When [?hook] is given, every vertex step is gated by [hook.alive] and
     every sent message by [hook.fate]; postponed messages stay in flight
     (keeping the engine from quiescing) until their delay elapses. The
     message total always counts sends, not deliveries, so it is
     unaffected by drops and duplications.
-    On large rounds (hundreds of vertices stepping) the step pass shards
-    across [?pool] (default {!Kecss_par.Pool.default}). Only the step
-    calls themselves run off the engine domain — each touches exclusively
-    its vertex's state, sends and status cell — while hook calls,
-    delivery, metrics and the active count stay sequential in vertex
-    order, so rounds, message totals, traces and final states are
-    byte-identical at every pool size.
+    On large rounds ({!par_threshold} or more vertices stepping) the
+    step pass shards across [?pool] (default
+    {!Kecss_par.Pool.default}): each domain owns a static contiguous
+    slice of the pass's worklist and collects the sends of its slice in
+    its own shard, and the sequential delivery pass then drains the
+    shards in slice order — a deterministic ascending-sender merge.
+    Only the step calls themselves run off the engine domain — each
+    touches exclusively its vertex's state and status cell plus its
+    slice's shard — while hook calls, delivery, metrics and the active
+    count stay sequential in vertex order, so rounds, message totals,
+    traces and final states are byte-identical at every pool size.
     @raise Message_too_large on an oversized payload
     @raise Duplicate_send if a vertex sends twice on one edge in a round
     @raise Did_not_quiesce after [max_rounds] (default [16 * n + 10_000]). *)

@@ -33,24 +33,29 @@ let bfs_tree ledger g ~root =
       init = (fun v -> { parent_edge = -1; joined = v = root });
       step =
         (fun ~round v st inbox ->
-          if v = root && round = 0 then
+          if v = root && round = 0 then begin
             (* flood the join token on every incident edge *)
-            ( Array.to_list (Graph.adj g v)
-              |> List.map (fun (_, id) -> { Network.edge = id; payload = [| 0 |] }),
-              `Idle )
+            let sends = ref [] in
+            for i = Graph.degree g v - 1 downto 0 do
+              sends :=
+                { Network.edge = Graph.adj_eid_at g v i; payload = [| 0 |] }
+                :: !sends
+            done;
+            (!sends, `Idle)
+          end
           else if (not st.joined) && inbox <> [] then begin
             let best =
               List.fold_left (fun acc (id, _) -> min acc id) max_int inbox
             in
             st.parent_edge <- best;
             st.joined <- true;
-            let sends =
-              Array.to_list (Graph.adj g v)
-              |> List.filter_map (fun (_, id) ->
-                     if id = best then None
-                     else Some { Network.edge = id; payload = [| 0 |] })
-            in
-            (sends, `Idle)
+            let sends = ref [] in
+            for i = Graph.degree g v - 1 downto 0 do
+              let id = Graph.adj_eid_at g v i in
+              if id <> best then
+                sends := { Network.edge = id; payload = [| 0 |] } :: !sends
+            done;
+            (!sends, `Idle)
           end
           else ([], if st.joined then `Idle else `Active));
     }
@@ -213,22 +218,24 @@ let broadcast_list ?(record = true) ledger (f : Forest.t) ~items =
 (* ---------- per-edge bidirectional streaming ---------- *)
 
 let edge_stream ledger g ~lengths =
+  (* memoize: [lengths] may hide LCA/depth lookups and the step below
+     reads every incident edge's length every round *)
+  let len = Array.init (Graph.m g) lengths in
   let program : unit Network.program =
     {
       init = (fun _ -> ());
       step =
         (fun ~round v () _ ->
-          let sends =
-            Array.to_list (Graph.adj g v)
-            |> List.filter_map (fun (_, id) ->
-                   if round < lengths id then
-                     Some { Network.edge = id; payload = [| round |] }
-                   else None)
-          in
-          let more =
-            Array.exists (fun (_, id) -> round + 1 < lengths id) (Graph.adj g v)
-          in
-          (sends, if more then `Active else `Idle));
+          let sends = ref [] and more = ref false in
+          for i = Graph.degree g v - 1 downto 0 do
+            let id = Graph.adj_eid_at g v i in
+            let l = len.(id) in
+            if round < l then begin
+              sends := { Network.edge = id; payload = [| round |] } :: !sends;
+              if round + 1 < l then more := true
+            end
+          done;
+          (!sends, if !more then `Active else `Idle));
     }
   in
   ignore (engine ledger ~category:"edge_stream" g program)

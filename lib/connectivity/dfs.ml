@@ -20,9 +20,9 @@ let low_link ?mask g =
         match !stack with
         | [] -> ()
         | (v, in_edge, cursor) :: rest ->
-          let a = Graph.adj g v in
-          if !cursor < Array.length a then begin
-            let nb, id = a.(!cursor) in
+          if !cursor < Graph.degree g v then begin
+            let nb = Graph.adj_nbr_at g v !cursor in
+            let id = Graph.adj_eid_at g v !cursor in
             incr cursor;
             if allowed id && id <> in_edge then
               if disc.(nb) < 0 then begin

@@ -8,7 +8,15 @@ let lambda ?mask ?upper g =
   let n = Graph.n g in
   if n <= 1 then max_int
   else if not (Graph.is_connected ?mask g) then 0
-  else begin
+  else if Dfs.bridges ?mask g <> [] then 1
+  else
+    (* bridgeless and connected: λ ≥ 2, settled without any max-flow when
+       the caller only cares about λ up to 2 — this is what keeps k ≤ 2
+       verification O(n + m) on million-vertex instances *)
+    match upper with
+    | Some u when u <= 2 -> min 2 u
+    | _ ->
+    begin
     let net = Maxflow.of_graph ?mask g in
     let best = ref max_int in
     for t = 1 to n - 1 do

@@ -34,21 +34,20 @@ type result = {
 
 (* Kruskal on the filter weights (A ↦ 0, active ↦ 1, rest ↦ 2), with edge-id
    tie-break: the same tree the distributed MST of Line 4 computes.
-   [Graph.edges] is already id-ascending, so three class passes visit the
-   edges in exactly the (filter weight, id) order a sort would produce —
-   no per-iteration O(m log m) re-sort. *)
+   Edge ids are ascending, so three class passes visit the edges in exactly
+   the (filter weight, id) order a sort would produce — no per-iteration
+   O(m log m) re-sort, and no edge records materialised. *)
 let filter_mst g ~a ~active =
   let n = Graph.n g in
-  let edges = Graph.edges g in
+  let m = Graph.m g in
   let uf = Union_find.create n in
   let chosen = Hashtbl.create 64 in
   let pass keep =
-    Array.iter
-      (fun e ->
-        if keep e.Graph.id then
-          if Union_find.union uf e.Graph.u e.Graph.v then
-            Hashtbl.replace chosen e.Graph.id ())
-      edges
+    for e = 0 to m - 1 do
+      if keep e then
+        if Union_find.union uf (Graph.edge_u g e) (Graph.edge_v g e) then
+          Hashtbl.replace chosen e ()
+    done
   in
   pass (fun id -> Bitset.mem a id);
   pass (fun id -> (not (Bitset.mem a id)) && Bitset.mem active id);

@@ -121,6 +121,13 @@ let solve ?(trace = Kecss_obs.Trace.noop) ?max_iterations ?initial rng p
   let current_level = ref Cost.useless in
   let p_exp = ref 0 and phase_iter = ref 0 in
   let rank_bound = 1 lsl 60 in
+  (* Voting scratch, allocated once: per-element best (rank, candidate,
+     size), validated against the iteration stamp — no per-iteration array
+     or tuple allocation, and no O(elements) clear between iterations *)
+  let best_r = Array.make (max 1 p.elements) max_int in
+  let best_c = Array.make (max 1 p.elements) max_int in
+  let best_size = Array.make (max 1 p.elements) 0 in
+  let best_stamp = Array.make (max 1 p.elements) 0 in
   while st.uncovered > 0 do
     incr iterations;
     let level = max_level st in
@@ -134,25 +141,36 @@ let solve ?(trace = Kecss_obs.Trace.noop) ?max_iterations ?initial rng p
     else begin
       match strategy with
       | Voting { divisor } ->
+        let stamp = !iterations in
         let ranked =
           List.map (fun c -> (c, Rng.int rng rank_bound + 1, st.ce.(c))) cands
         in
-        let best = Array.make p.elements (max_int, max_int, 0) in
         List.iter
           (fun (c, r, size) ->
             List.iter
               (fun el ->
-                if (not st.covered.(el)) && (r, c) < (let br, bc, _ = best.(el) in (br, bc))
-                then best.(el) <- (r, c, size))
+                if not st.covered.(el) then
+                  let fresh = best_stamp.(el) <> stamp in
+                  if
+                    fresh
+                    || r < best_r.(el)
+                    || (r = best_r.(el) && c < best_c.(el))
+                  then begin
+                    best_stamp.(el) <- stamp;
+                    best_r.(el) <- r;
+                    best_c.(el) <- c;
+                    best_size.(el) <- size
+                  end)
               (p.covered_by c))
           ranked;
         let votes = Hashtbl.create 16 in
-        Array.iteri
-          (fun el (_, c, _) ->
-            if (not st.covered.(el)) && c <> max_int then
-              Hashtbl.replace votes c
-                (1 + Option.value ~default:0 (Hashtbl.find_opt votes c)))
-          best;
+        for el = 0 to p.elements - 1 do
+          if best_stamp.(el) = stamp && not st.covered.(el) then begin
+            let c = best_c.(el) in
+            Hashtbl.replace votes c
+              (1 + Option.value ~default:0 (Hashtbl.find_opt votes c))
+          end
+        done;
         let added =
           List.filter_map
             (fun (c, _, size) ->
@@ -163,13 +181,17 @@ let solve ?(trace = Kecss_obs.Trace.noop) ?max_iterations ?initial rng p
         (* §3.3 cost charging before coverage flips *)
         let added_set = Hashtbl.create 8 in
         List.iter (fun c -> Hashtbl.replace added_set c ()) added;
-        Array.iteri
-          (fun el (_, c, size) ->
-            if (not st.covered.(el)) && c <> max_int && Hashtbl.mem added_set c
-            then
-              st.cost_sum <-
-                st.cost_sum +. (float_of_int (p.weight c) /. float_of_int size))
-          best;
+        for el = 0 to p.elements - 1 do
+          if
+            best_stamp.(el) = stamp
+            && (not st.covered.(el))
+            && Hashtbl.mem added_set best_c.(el)
+          then
+            st.cost_sum <-
+              st.cost_sum
+              +. float_of_int (p.weight best_c.(el))
+                 /. float_of_int best_size.(el)
+        done;
         List.iter (commit st) added
       | Guessing { m_phase } ->
         if level <> !current_level then begin

@@ -14,15 +14,19 @@ let solve_with ledger g =
   let forest = Forest.of_rooted_tree tree in
   (* charge the O(D) communication: root paths down the tree, LCA-depth
      exchange across non-tree edges, and the two selection waves *)
+  (* result unused: the pipeline is run for its round/message charge,
+     [record:false] skips accumulating the received lists *)
   ignore
-    (Prim.down_pipeline ledger forest ~emit:(fun v ->
+    (Prim.down_pipeline ~record:false ledger forest ~emit:(fun v ->
          let pe = Rooted_tree.parent_edge tree v in
          if pe < 0 then [] else [ [| pe |] ]));
   Prim.edge_stream ledger g ~lengths:(fun e ->
       if Rooted_tree.is_tree_edge tree e then 0
       else
-        let u, v = Graph.endpoints g e in
-        1 + min (Rooted_tree.depth tree u) (Rooted_tree.depth tree v));
+        1
+        + min
+            (Rooted_tree.depth tree (Graph.edge_u g e))
+            (Rooted_tree.depth tree (Graph.edge_v g e)));
   ignore (Prim.wave_up ledger forest ~value:(fun _ _ -> [| 0 |]));
   ignore
     (Prim.wave_down ledger forest
@@ -38,15 +42,15 @@ let solve_with ledger g =
       low_edge.(x) <- e
     end
   in
-  Graph.iter_edges
-    (fun e ->
-      if not (Rooted_tree.is_tree_edge tree e.Graph.id) then begin
-        let a = Rooted_tree.lca tree e.Graph.u e.Graph.v in
-        let d = Rooted_tree.depth tree a in
-        improve e.Graph.u d e.Graph.id;
-        improve e.Graph.v d e.Graph.id
-      end)
-    g;
+  for e = 0 to Graph.m g - 1 do
+    if not (Rooted_tree.is_tree_edge tree e) then begin
+      let u = Graph.edge_u g e and v = Graph.edge_v g e in
+      let a = Rooted_tree.lca tree u v in
+      let d = Rooted_tree.depth tree a in
+      improve u d e;
+      improve v d e
+    end
+  done;
   let order = Rooted_tree.preorder tree in
   for i = n - 1 downto 0 do
     let x = order.(i) in
@@ -74,7 +78,7 @@ let solve_with ledger g =
     end
   in
   let cover_path e =
-    let u, v = Graph.endpoints g e in
+    let u = Graph.edge_u g e and v = Graph.edge_v g e in
     let l = Rooted_tree.lca tree u v in
     let ld = Rooted_tree.depth tree l in
     let rec walk x =

@@ -3,7 +3,7 @@ open Kecss_graph
 type result = { set : Bitset.t; size : int; iterations : int }
 
 let closed_neighborhood g v =
-  v :: (Array.to_list (Graph.adj g v) |> List.map fst) |> List.sort_uniq compare
+  v :: Graph.fold_adj g v (fun acc nb _ -> nb :: acc) [] |> List.sort_uniq compare
 
 let problem g =
   {

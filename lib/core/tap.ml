@@ -78,11 +78,13 @@ let cover_edge st x =
 let exchange_sends tree g =
   let n = Graph.n g in
   Array.init n (fun v ->
-      Array.to_list (Graph.adj g v)
-      |> List.filter_map (fun (nb, id) ->
-             if (not (Rooted_tree.is_tree_edge tree id)) && v < nb then
-               Some { Network.edge = id; payload = [| 0 |] }
-             else None))
+      let sends = ref [] in
+      for i = Graph.degree g v - 1 downto 0 do
+        let id = Graph.adj_eid_at g v i in
+        if (not (Rooted_tree.is_tree_edge tree id)) && v < Graph.adj_nbr_at g v i
+        then sends := { Network.edge = id; payload = [| 0 |] } :: !sends
+      done;
+      !sends)
 
 let charge_iteration ledger ~bfs_forest segments ~exch st =
   let tree = st.tree in
@@ -150,7 +152,7 @@ let augment ?config ledger rng ~bfs_forest segments =
   let cov_cnt = Array.make n 0 in
   List.iter
     (fun e ->
-      let u, v = Graph.endpoints g e in
+      let u = Graph.edge_u g e and v = Graph.edge_v g e in
       let l = Rooted_tree.lca tree u v in
       let ld = Rooted_tree.depth tree l in
       lca_depth.(e) <- ld;
@@ -178,7 +180,7 @@ let augment ?config ledger rng ~bfs_forest segments =
   let cov_fill = Array.sub cov_off 0 n in
   List.iter
     (fun e ->
-      let u, v = Graph.endpoints g e in
+      let u = Graph.edge_u g e and v = Graph.edge_v g e in
       let ld = lca_depth.(e) in
       let w = ref path_off.(e) in
       let fill x0 =

@@ -1,30 +1,64 @@
-(* Edge-list accumulation with duplicate suppression.  All generators build
-   through [Builder] so that parallel edges never arise by accident. *)
+(* Edge accumulation with duplicate suppression.  All generators build
+   through [Builder] so that parallel edges never arise by accident.
+   Edges accumulate in three growable int arrays (doubling, no per-edge
+   boxing) and dedup keys are packed into a single int, so a G(10^6, .)
+   instance builds without the former O(m) tuple-list intermediate;
+   [graph] hands the trimmed arrays to [Graph.of_arrays]. *)
 module Builder = struct
   type t = {
     n : int;
-    mutable acc : (int * int * int) list;
-    seen : (int * int, unit) Hashtbl.t;
+    mutable m : int;
+    mutable u : int array;
+    mutable v : int array;
+    mutable w : int array;
+    seen : (int, unit) Hashtbl.t;
   }
 
-  let create n = { n; acc = []; seen = Hashtbl.create 64 }
+  let create ?(hint = 16) n =
+    let cap = max hint 16 in
+    {
+      n;
+      m = 0;
+      u = Array.make cap 0;
+      v = Array.make cap 0;
+      w = Array.make cap 0;
+      seen = Hashtbl.create (max 64 cap);
+    }
 
-  let add ?(w = 1) b u v =
-    let key = if u < v then (u, v) else (v, u) in
-    if u <> v && not (Hashtbl.mem b.seen key) then begin
-      Hashtbl.replace b.seen key ();
-      b.acc <- (u, v, w) :: b.acc
+  let key b u v = if u < v then (u * b.n) + v else (v * b.n) + u
+
+  let reserve b =
+    let cap = Array.length b.u in
+    if b.m = cap then begin
+      let extend a =
+        let a' = Array.make (2 * cap) 0 in
+        Array.blit a 0 a' 0 b.m;
+        a'
+      in
+      b.u <- extend b.u;
+      b.v <- extend b.v;
+      b.w <- extend b.w
     end
 
-  let mem b u v =
-    let key = if u < v then (u, v) else (v, u) in
-    Hashtbl.mem b.seen key
+  let add ?(w = 1) b u v =
+    if u <> v && not (Hashtbl.mem b.seen (key b u v)) then begin
+      Hashtbl.replace b.seen (key b u v) ();
+      reserve b;
+      b.u.(b.m) <- u;
+      b.v.(b.m) <- v;
+      b.w.(b.m) <- w;
+      b.m <- b.m + 1
+    end
 
-  let graph b = Graph.make ~n:b.n (List.rev b.acc)
+  let mem b u v = Hashtbl.mem b.seen (key b u v)
+
+  let graph b =
+    let trim a = if b.m = Array.length a then a else Array.sub a 0 b.m in
+    Graph.of_arrays ~n:b.n (trim b.u) (trim b.v) (trim b.w)
 end
 
 let path n =
-  let b = Builder.create n in
+  let b = Builder.create ~hint:(max 0 (n - 1)) n in
   for i = 0 to n - 2 do
     Builder.add b i (i + 1)
   done;
@@ -32,14 +66,14 @@ let path n =
 
 let cycle n =
   if n < 3 then invalid_arg "Gen.cycle: n must be >= 3";
-  let b = Builder.create n in
+  let b = Builder.create ~hint:n n in
   for i = 0 to n - 1 do
     Builder.add b i ((i + 1) mod n)
   done;
   Builder.graph b
 
 let complete n =
-  let b = Builder.create n in
+  let b = Builder.create ~hint:(n * (n - 1) / 2) n in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
       Builder.add b u v
@@ -49,7 +83,7 @@ let complete n =
 
 let circulant n offsets =
   if n < 3 then invalid_arg "Gen.circulant: n must be >= 3";
-  let b = Builder.create n in
+  let b = Builder.create ~hint:(n * List.length offsets) n in
   List.iter
     (fun d ->
       if d <= 0 || d >= n then invalid_arg "Gen.circulant: bad offset";
@@ -62,7 +96,7 @@ let circulant n offsets =
 let harary k n =
   if k < 2 || n <= k then invalid_arg "Gen.harary: need n > k >= 2";
   let r = k / 2 in
-  let b = Builder.create n in
+  let b = Builder.create ~hint:((k * n / 2) + 1) n in
   for d = 1 to r do
     for i = 0 to n - 1 do
       Builder.add b i ((i + d) mod n)
@@ -92,7 +126,7 @@ let torus rows cols =
   if rows < 3 || cols < 3 then invalid_arg "Gen.torus: dims must be >= 3";
   let n = rows * cols in
   let idx r c = (r * cols) + c in
-  let b = Builder.create n in
+  let b = Builder.create ~hint:(2 * n) n in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
       Builder.add b (idx r c) (idx ((r + 1) mod rows) c);
@@ -116,7 +150,7 @@ let grid rows cols =
 let hypercube d =
   if d < 1 then invalid_arg "Gen.hypercube: d must be >= 1";
   let n = 1 lsl d in
-  let b = Builder.create n in
+  let b = Builder.create ~hint:(n * d / 2) n in
   for v = 0 to n - 1 do
     for bit = 0 to d - 1 do
       Builder.add b v (v lxor (1 lsl bit))
@@ -215,8 +249,8 @@ let random_connected rng n p =
 let random_k_connected rng n k ~extra =
   if k < 1 || n <= k then invalid_arg "Gen.random_k_connected: need n > k";
   let label = Rng.permutation rng n in
-  let b = Builder.create n in
   let half = (k + 1) / 2 in
+  let b = Builder.create ~hint:((n * half) + extra) n in
   for d = 1 to half do
     for i = 0 to n - 1 do
       Builder.add b label.(i) label.((i + d) mod n)

@@ -5,7 +5,15 @@
     allowed; self-loops are not.  Edge identifiers are array indices and are
     stable: subgraphs are represented externally as {!Bitset.t} masks over
     edge ids rather than as re-indexed graphs, so an edge means the same
-    thing in a graph and in all of its subgraphs. *)
+    thing in a graph and in all of its subgraphs.
+
+    The representation is flat CSR: endpoints and weights live in three
+    int arrays indexed by edge id, and adjacency is a packed
+    neighbor/edge-id array pair with per-vertex offsets.  The {!edges}
+    and {!adj} accessors below materialize boxed compatibility views
+    lazily (cached on first use); hot paths should prefer the
+    allocation-free {!iter_adj}/{!fold_adj}/{!adj_nbr_at}/{!adj_eid_at}
+    and {!edge_u}/{!edge_v}/{!weight} accessors. *)
 
 type edge = private {
   id : int;  (** position in {!edges}; stable across subgraph masks *)
@@ -20,6 +28,13 @@ val make : n:int -> (int * int * int) list -> t
 (** [make ~n spec] builds a graph on vertices [0..n-1] from a list of
     [(u, v, w)] triples. Raises [Invalid_argument] on out-of-range
     endpoints, self-loops, or negative weights. *)
+
+val of_arrays : n:int -> int array -> int array -> int array -> t
+(** [of_arrays ~n u v w] is the bulk constructor: edge [i] joins
+    [u.(i)] and [v.(i)] with weight [w.(i)].  The graph takes ownership
+    of the three arrays (endpoints may be swapped in place so the
+    smaller one comes first); the caller must not reuse them.  Same
+    validation as {!make}, without the O(m) intermediate list. *)
 
 val n : t -> int
 (** Number of vertices. *)
@@ -39,6 +54,13 @@ val endpoints : t -> int -> int * int
 val weight : t -> int -> int
 (** [weight g id] is the weight of edge [id]. *)
 
+val edge_u : t -> int -> int
+(** [edge_u g id] is the smaller endpoint of edge [id]; O(1), no
+    allocation (unlike {!endpoints}, which builds a pair). *)
+
+val edge_v : t -> int -> int
+(** [edge_v g id] is the larger endpoint of edge [id]. *)
+
 val other_end : t -> int -> int -> int
 (** [other_end g id x] is the endpoint of edge [id] that is not [x].
     Raises [Invalid_argument] if [x] is not an endpoint. *)
@@ -48,6 +70,22 @@ val adj : t -> int -> (int * int) array
     must not be mutated. *)
 
 val degree : t -> int -> int
+
+val iter_adj : t -> int -> (int -> int -> unit) -> unit
+(** [iter_adj g v f] calls [f neighbor edge_id] for each incident edge of
+    [v], in ascending edge-id order (the same order as {!adj}).  No
+    allocation. *)
+
+val fold_adj : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+(** [fold_adj g v f init] folds [f acc neighbor edge_id] over the
+    incident edges of [v] in ascending edge-id order. *)
+
+val adj_nbr_at : t -> int -> int -> int
+(** [adj_nbr_at g v i] is the neighbor across the [i]-th incident edge of
+    [v], [0 <= i < degree g v]; O(1), no allocation. *)
+
+val adj_eid_at : t -> int -> int -> int
+(** [adj_eid_at g v i] is the id of the [i]-th incident edge of [v]. *)
 
 val find_edge : t -> int -> int -> int option
 (** [find_edge g u v] is the id of some edge joining [u] and [v], if any. *)

@@ -44,27 +44,21 @@ let spanner_layer rng ledger g avail ~t =
   let best = Hashtbl.create 16 in
   let scan v =
     Hashtbl.reset best;
-    Array.iter
-      (fun (u, e) ->
+    Graph.iter_adj g v (fun u e ->
         if Bitset.mem live e then
           let c = cluster.(u) in
           if c >= 0 && c <> cluster.(v) then
             match Hashtbl.find_opt best c with
             | Some e' when not (lighter g e e') -> ()
             | _ -> Hashtbl.replace best c e)
-      (Graph.adj g v)
   in
   let drop_clusters v drop =
-    Array.iter
-      (fun (u, e) ->
+    Graph.iter_adj g v (fun u e ->
         if Bitset.mem live e then
           let cu = cluster.(u) in
           if cu >= 0 && Hashtbl.mem drop cu then Bitset.remove live e)
-      (Graph.adj g v)
   in
-  let settle v =
-    Array.iter (fun (_, e) -> Bitset.remove live e) (Graph.adj g v)
-  in
+  let settle v = Graph.iter_adj g v (fun _ e -> Bitset.remove live e) in
   (* phase 1: t−1 rounds of cluster sampling and joining *)
   for _ = 2 to t do
     let sampled = Array.init n (fun _ -> Rng.bernoulli rng prob) in
@@ -175,16 +169,19 @@ let run ?ledger rng g ~k ~mode =
   let edges_out = Bitset.cardinal kept in
   Trace.count trace "sparsify edges out" edges_out;
   let to_original = Array.make edges_out 0 in
-  let spec = ref [] in
+  let su = Array.make edges_out 0
+  and sv = Array.make edges_out 0
+  and sw = Array.make edges_out 0 in
   let i = ref 0 in
   Bitset.iter
     (fun e ->
-      let u, v = Graph.endpoints g e in
-      spec := (u, v, Graph.weight g e) :: !spec;
+      su.(!i) <- Graph.edge_u g e;
+      sv.(!i) <- Graph.edge_v g e;
+      sw.(!i) <- Graph.weight g e;
       to_original.(!i) <- e;
       incr i)
     kept;
-  let sub = Graph.make ~n:(Graph.n g) (List.rev !spec) in
+  let sub = Graph.of_arrays ~n:(Graph.n g) su sv sw in
   { mode; kept; edges_in = m; edges_out; rounds; sub; to_original }
 
 let lift t sol =

@@ -245,13 +245,15 @@ let graph_tests =
         check_int "endpoint order u" 0 u;
         check_int "endpoint order v" 1 v);
     case "rejects bad input" (fun () ->
-        Alcotest.check_raises "self loop" (Invalid_argument "Graph.make: self-loop")
+        Alcotest.check_raises "self loop"
+          (Invalid_argument "Graph.make: edge 0: self-loop at vertex 1")
           (fun () -> ignore (Graph.make ~n:3 [ (1, 1, 0) ]));
         Alcotest.check_raises "range"
-          (Invalid_argument "Graph.make: endpoint out of range") (fun () ->
+          (Invalid_argument
+             "Graph.make: edge 0: endpoint 3 out of range [0, 3)") (fun () ->
             ignore (Graph.make ~n:3 [ (0, 3, 1) ]));
         Alcotest.check_raises "negative"
-          (Invalid_argument "Graph.make: negative weight") (fun () ->
+          (Invalid_argument "Graph.make: edge 0: negative weight -2") (fun () ->
             ignore (Graph.make ~n:3 [ (0, 1, -2) ])));
     case "bfs distances on cycle" (fun () ->
         let g = Gen.cycle 8 in
@@ -500,6 +502,178 @@ let io_tests =
            Io.to_string g = Io.to_string g2));
   ]
 
+(* ---------- binary Io ---------- *)
+
+(* corrupt one region of a valid binary image *)
+let patch64 s off v =
+  let b = Bytes.of_string s in
+  Bytes.set_int64_le b off v;
+  Bytes.to_string b
+
+let binary_io_tests =
+  let sample () =
+    Graph.make ~n:5 [ (0, 1, 5); (2, 3, 0); (1, 3, 12); (0, 4, 3); (3, 4, 1) ]
+  in
+  let expect_failure input msg =
+    match Io.of_binary_string input with
+    | exception Failure m -> Alcotest.(check string) msg msg m
+    | _ -> Alcotest.fail ("should have raised: " ^ msg)
+  in
+  [
+    case "binary roundtrip is byte-for-byte" (fun () ->
+        let g = sample () in
+        let bin = Io.to_binary_string g in
+        let g2 = Io.of_binary_string bin in
+        Alcotest.(check string) "text identical" (Io.to_string g) (Io.to_string g2);
+        Alcotest.(check string) "binary identical" bin (Io.to_binary_string g2));
+    case "binary preserves edge ids and adjacency order" (fun () ->
+        let g = sample () in
+        let g2 = Io.of_binary_string (Io.to_binary_string g) in
+        check_int "n" (Graph.n g) (Graph.n g2);
+        check_int "m" (Graph.m g) (Graph.m g2);
+        for e = 0 to Graph.m g - 1 do
+          check_int "u" (Graph.edge_u g e) (Graph.edge_u g2 e);
+          check_int "v" (Graph.edge_v g e) (Graph.edge_v g2 e);
+          check_int "w" (Graph.weight g e) (Graph.weight g2 e)
+        done;
+        for v = 0 to Graph.n g - 1 do
+          let walk gr =
+            let acc = ref [] in
+            Graph.iter_adj gr v (fun nb eid -> acc := (nb, eid) :: !acc);
+            List.rev !acc
+          in
+          Alcotest.(check (list (pair int int)))
+            "adjacency run identical" (walk g) (walk g2)
+        done);
+    case "save/load roundtrip and format sniffing" (fun () ->
+        let g = sample () in
+        let dir = Filename.temp_file "kecss" "" in
+        Sys.remove dir;
+        let bin_path = dir ^ ".bin" and txt_path = dir ^ ".txt" in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun p -> if Sys.file_exists p then Sys.remove p)
+              [ bin_path; txt_path ])
+          (fun () ->
+            Io.save_binary bin_path g;
+            let oc = open_out txt_path in
+            Io.to_channel oc g;
+            close_out oc;
+            Alcotest.(check string)
+              "load_binary" (Io.to_string g)
+              (Io.to_string (Io.load_binary bin_path));
+            (* Io.load sniffs the magic and reads either format *)
+            Alcotest.(check string)
+              "load sniffs binary" (Io.to_string g)
+              (Io.to_string (Io.load bin_path));
+            Alcotest.(check string)
+              "load sniffs text" (Io.to_string g)
+              (Io.to_string (Io.load txt_path))));
+    case "decode errors name the bad offset" (fun () ->
+        let g = sample () in
+        let bin = Io.to_binary_string g in
+        expect_failure (String.sub bin 0 5)
+          "Io.of_binary: offset 0: truncated header: 5 bytes, need at least 32";
+        expect_failure ("XXXXXXXX" ^ String.sub bin 8 (String.length bin - 8))
+          "Io.of_binary: offset 0: bad magic (expected \"kecssbin\")";
+        expect_failure (patch64 bin 8 9L)
+          "Io.of_binary: offset 8: unsupported version 9 (this build reads \
+           version 1)";
+        expect_failure (patch64 bin 16 (-1L))
+          "Io.of_binary: offset 16: bad vertex count -1";
+        expect_failure (patch64 bin 24 (-3L))
+          "Io.of_binary: offset 24: bad edge count -3";
+        expect_failure
+          (String.sub bin 0 (String.length bin - 8))
+          "Io.of_binary: offset 32: truncated edge data: 144 bytes, need 152 \
+           for m=5";
+        expect_failure (bin ^ "overrun!")
+          "Io.of_binary: offset 152: trailing bytes: 160 bytes, expected 152 \
+           for m=5";
+        (* first endpoint word out of range: the offset is the edge's *)
+        expect_failure (patch64 bin 32 99L)
+          "Io.of_binary: offset 32: edge 0: endpoint 99 out of range [0, 5)");
+    case "is_binary_magic" (fun () ->
+        let g = sample () in
+        check_is "binary" (Io.is_binary_magic (Io.to_binary_string g));
+        check_is "text" (not (Io.is_binary_magic (Io.to_string g)));
+        check_is "short" (not (Io.is_binary_magic "kecss")));
+    qcheck
+      (QCheck.Test.make ~name:"binary roundtrip on random graphs" ~count:50
+         (arb_connected ()) (fun params ->
+           let g = graph_of_params params in
+           let bin = Io.to_binary_string g in
+           let g2 = Io.of_binary_string bin in
+           Io.to_string g = Io.to_string g2
+           && bin = Io.to_binary_string g2));
+  ]
+
+(* ---------- CSR core: of_arrays and flat accessors ---------- *)
+
+let csr_tests =
+  [
+    case "of_arrays matches make" (fun () ->
+        let spec = [ (0, 1, 5); (3, 2, 0); (1, 3, 12); (4, 0, 3) ] in
+        let ga = Graph.make ~n:5 spec in
+        let gb =
+          Graph.of_arrays ~n:5
+            (Array.of_list (List.map (fun (u, _, _) -> u) spec))
+            (Array.of_list (List.map (fun (_, v, _) -> v) spec))
+            (Array.of_list (List.map (fun (_, _, w) -> w) spec))
+        in
+        Alcotest.(check string) "identical" (Io.to_string ga) (Io.to_string gb);
+        (* endpoints are normalised u < v regardless of input order *)
+        check_int "swapped u" 2 (Graph.edge_u gb 1);
+        check_int "swapped v" 3 (Graph.edge_v gb 1));
+    case "of_arrays validates" (fun () ->
+        let expect msg mk =
+          match mk () with
+          | exception Invalid_argument m -> Alcotest.(check string) msg msg m
+          | _ -> Alcotest.fail ("should have raised: " ^ msg)
+        in
+        expect "Graph.of_arrays: n must be positive" (fun () ->
+            Graph.of_arrays ~n:0 [||] [||] [||]);
+        expect "Graph.of_arrays: endpoint/weight arrays disagree on length"
+          (fun () -> Graph.of_arrays ~n:2 [| 0 |] [| 1 |] [||]);
+        expect "Graph.of_arrays: edge 0: endpoint 2 out of range [0, 2)"
+          (fun () -> Graph.of_arrays ~n:2 [| 0 |] [| 2 |] [| 1 |]);
+        expect "Graph.of_arrays: edge 0: self-loop at vertex 1" (fun () ->
+            Graph.of_arrays ~n:2 [| 1 |] [| 1 |] [| 1 |]);
+        expect "Graph.of_arrays: edge 0: negative weight -4" (fun () ->
+            Graph.of_arrays ~n:2 [| 0 |] [| 1 |] [| -4 |]));
+    qcheck
+      (QCheck.Test.make ~name:"flat accessors agree with adj/edges" ~count:50
+         (arb_connected ()) (fun params ->
+           let g = graph_of_params params in
+           let ok = ref true in
+           (* iter_adj/adj_*_at/fold_adj reproduce the adj compat view *)
+           for v = 0 to Graph.n g - 1 do
+             let compat = Array.to_list (Graph.adj g v) in
+             let via_iter = ref [] in
+             Graph.iter_adj g v (fun nb eid -> via_iter := (nb, eid) :: !via_iter);
+             if List.rev !via_iter <> compat then ok := false;
+             let via_at =
+               List.init (Graph.degree g v) (fun i ->
+                   (Graph.adj_nbr_at g v i, Graph.adj_eid_at g v i))
+             in
+             if via_at <> compat then ok := false;
+             let via_fold =
+               Graph.fold_adj g v (fun acc nb eid -> (nb, eid) :: acc) []
+             in
+             if List.rev via_fold <> compat then ok := false
+           done;
+           (* edge_u/edge_v reproduce the edge records *)
+           Array.iter
+             (fun e ->
+               if
+                 Graph.edge_u g e.Graph.id <> e.Graph.u
+                 || Graph.edge_v g e.Graph.id <> e.Graph.v
+               then ok := false)
+             (Graph.edges g);
+           !ok));
+  ]
+
 (* ---------- Rooted_tree ---------- *)
 
 let naive_lca tree u v =
@@ -627,5 +801,7 @@ let () =
       ("generators", gen_tests);
       ("weights", weight_tests);
       ("io", io_tests);
+      ("binary_io", binary_io_tests);
+      ("csr", csr_tests);
       ("rooted_tree", tree_tests);
     ]
